@@ -1,0 +1,88 @@
+// Ablation: which I/O coordination mechanisms buy the consolidated DBMS its
+// advantage? (The design choices DESIGN.md calls out.)
+//
+//   1. Group commit: one shared log stream amortizes fsyncs across tenants;
+//      with the window at ~0, every commit pays its own flush barrier.
+//   2. Sorted (elevator) write-back: dirty pages written in page order
+//      degenerate to cheap near-sequential sweeps; random-order write-back
+//      pays a seek + rotation per page.
+//   3. Cross-stream interleaving: N independent instances on one spindle
+//      pay head movement the single coordinated instance avoids.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "db/server.h"
+#include "sim/disk.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+
+namespace kairos {
+namespace {
+
+double RunTotalTps(double group_commit_ms) {
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 28 * util::kGiB;
+  cfg.group_commit_window_ms = group_commit_ms;
+  db::Server server(sim::MachineSpec::Server1(), cfg, bench::kSeed);
+  workload::Driver driver(&server, bench::kSeed);
+  std::vector<std::unique_ptr<workload::TpccWorkload>> loads;
+  for (int i = 0; i < 10; ++i) {
+    loads.push_back(std::make_unique<workload::TpccWorkload>(
+        "t" + std::to_string(i), 5, std::make_shared<workload::FlatPattern>(80.0)));
+    driver.AddWorkload(loads.back().get());
+  }
+  driver.Warm();
+  driver.Run(4.0);
+  const auto res = driver.Run(20.0);
+  double total = 0;
+  for (const auto& w : res.workloads) total += w.MeanTps();
+  return total;
+}
+
+}  // namespace
+}  // namespace kairos
+
+int main() {
+  using namespace kairos;
+
+  bench::Banner("Ablation 1: group commit window (10 tenants x TPC-C(5w)@80)");
+  util::Table t1({"group_commit_ms", "total tps"});
+  for (double ms : {0.05, 1.0, 5.0, 10.0}) {
+    t1.AddRow({util::FormatDouble(ms, 2), util::FormatDouble(RunTotalTps(ms), 0)});
+  }
+  std::printf("%s", t1.ToString().c_str());
+  std::printf("expected: tiny windows force ~1 fsync per commit and throttle "
+              "the shared log; a few ms of batching restores throughput.\n");
+
+  bench::Banner("Ablation 2: sorted vs unsorted write-back (device cost)");
+  sim::Disk disk{sim::DiskSpec{}};
+  util::Table t2({"pages", "span", "sorted cost (s)", "random cost (s)", "win"});
+  for (int64_t pages : {100, 1000, 10000}) {
+    for (uint64_t span_mb : {256, 2048, 16384}) {
+      const uint64_t span = span_mb * util::kMiB;
+      const double sorted = disk.SortedWriteCost(pages, 16384, span);
+      const double random = disk.RandomWriteCost(pages, 16384);
+      t2.AddRow({std::to_string(pages), std::to_string(span_mb) + "MB",
+                 util::FormatDouble(sorted, 3), util::FormatDouble(random, 3),
+                 util::FormatDouble(random / sorted, 1) + "x"});
+    }
+  }
+  std::printf("%s", t2.ToString().c_str());
+  std::printf("expected: the elevator's advantage grows with batch density "
+              "(pages per span) — the mechanism behind coordinated flushing.\n");
+
+  bench::Banner("Ablation 3: cross-stream interleaving (device cost/sec)");
+  util::Table t3({"streams", "ops/sec", "interleave cost (s/s)"});
+  for (int streams : {1, 2, 5, 10, 20}) {
+    t3.AddRow({std::to_string(streams), "200",
+               util::FormatDouble(disk.InterleaveCost(streams, 200), 3)});
+  }
+  std::printf("%s", t3.ToString().c_str());
+  std::printf("expected: zero for one coordinated stream; grows with stream "
+              "count — the VM baselines' structural penalty.\n");
+  return 0;
+}

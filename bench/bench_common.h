@@ -1,0 +1,31 @@
+// Shared helpers for the table/figure reproduction benches.
+#ifndef KAIROS_BENCH_BENCH_COMMON_H_
+#define KAIROS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "model/analytic.h"
+#include "model/disk_model.h"
+#include "sim/machine.h"
+
+namespace kairos::bench {
+
+/// Seed shared by all benches so outputs are reproducible run-to-run.
+inline constexpr uint64_t kSeed = 2026;
+
+/// Disk model for the 12-core / 96 GB consolidation target (analytic
+/// profile over the RAID array; see DESIGN.md for the substitution note).
+inline model::DiskModel TargetDiskModel() {
+  return model::BuildAnalyticModel(sim::DiskSpec::Raid10(),
+                                   model::AnalyticConfig{}, 120e9, 2000.0);
+}
+
+/// Prints a section banner so bench output reads like the paper's figure.
+inline void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace kairos::bench
+
+#endif  // KAIROS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Figure 4: Disk Model for the experimental configuration.
+//
+// Sweeps the simulated Server-1 machine (two quad-core Xeons, 32 GB RAM,
+// one 7200 RPM SATA disk) over working-set sizes and row-update rates with
+// the synthetic OLTP workload, fits the Least-Absolute-Residuals 2nd-order
+// polynomial, and prints:
+//   * the measured grid (the paper collects ~7,000 points; the simulated
+//     sweep uses a coarser grid),
+//   * the fitted I/O surface sampled like the paper's contour plot,
+//   * the quadratic saturation frontier (the thick dashed line).
+// Expected shape: write throughput grows sublinearly with update rate,
+// grows with working set size, and the max sustainable rate falls as the
+// working set grows.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "model/profiler.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace kairos;
+
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 6 * util::kGiB;  // all working sets fit in RAM
+  model::ProfilerConfig pc;
+  for (double gb : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    pc.working_set_bytes.push_back(gb * static_cast<double>(util::kGiB));
+  }
+  for (double rate : {1000.0, 4000.0, 8000.0, 14000.0, 20000.0, 28000.0, 40000.0}) {
+    pc.rows_per_sec.push_back(rate);
+  }
+  pc.warmup_seconds = 3.0;
+  pc.measure_seconds = 8.0;
+
+  model::DiskModelProfiler profiler(sim::MachineSpec::Server1(), cfg, pc);
+  bench::Banner("Figure 4: profiling sweep (measured grid)");
+  const auto points = profiler.CollectPoints(bench::kSeed);
+  util::Table grid({"ws_MB", "target_rows_s", "achieved_rows_s", "disk_write_MBps",
+                    "saturated"});
+  for (const auto& p : points) {
+    grid.AddRow({util::FormatDouble(p.working_set_bytes / 1e6, 0),
+                 util::FormatDouble(p.target_rows_per_sec, 0),
+                 util::FormatDouble(p.achieved_rows_per_sec, 0),
+                 util::FormatDouble(p.write_bytes_per_sec / 1e6, 2),
+                 p.saturated ? "yes" : "no"});
+  }
+  std::printf("%s", grid.ToString().c_str());
+
+  const model::DiskModel model = model::DiskModel::Fit(points);
+  if (!model.valid()) {
+    std::printf("model fit FAILED\n");
+    return 1;
+  }
+
+  bench::Banner("Figure 4: fitted LAR polynomial surface (write MB/s)");
+  util::Table surface({"ws_MB \\ rows_s", "2000", "8000", "16000", "24000", "32000"});
+  for (double gb : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    const double ws = gb * static_cast<double>(util::kGiB);
+    std::vector<std::string> row{util::FormatDouble(ws / 1e6, 0)};
+    for (double rate : {2000.0, 8000.0, 16000.0, 24000.0, 32000.0}) {
+      row.push_back(util::FormatDouble(model.PredictWriteBytesPerSec(ws, rate) / 1e6, 1));
+    }
+    surface.AddRow(row);
+  }
+  std::printf("%s", surface.ToString().c_str());
+
+  bench::Banner("Figure 4: saturation frontier (dashed line)");
+  util::Table frontier({"ws_MB", "max_sustainable_rows_s", "write_MBps_at_max"});
+  for (double gb : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    const double ws = gb * static_cast<double>(util::kGiB);
+    const double max_rate = model.MaxSustainableRate(ws);
+    frontier.AddRow({util::FormatDouble(ws / 1e6, 0),
+                     util::FormatDouble(max_rate, 0),
+                     util::FormatDouble(model.PredictWriteBytesPerSec(ws, max_rate) / 1e6, 1)});
+  }
+  std::printf("%s", frontier.ToString().c_str());
+  const auto& c = model.io_surface().coefficients();
+  std::printf("LAR poly2d (normalized inputs): %.3g %+.3g u %+.3g v %+.3g u^2 "
+              "%+.3g uv %+.3g v^2\n", c[0], c[1], c[2], c[3], c[4], c[5]);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 12: generality of the disk model.
+//
+// (a) Database size does not matter: a synthetic workload touching a fixed
+//     512 MB hot set inside databases of 1 / 2 / 5 GB produces nearly
+//     identical write-throughput curves.
+// (b) Transaction type does not matter: TPC-C (30 warehouses, ~4-6 GB
+//     database) and Wikipedia (100K pages, 67 GB database) with comparable
+//     ~2.2 GB working sets impose nearly identical disk write throughput at
+//     equal rows-updated/sec (Wikipedia with higher variance due to its
+//     tuple-size spread).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "db/server.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+#include "workload/wikipedia.h"
+
+namespace kairos {
+namespace {
+
+struct Point {
+  double rows_per_sec = 0;
+  double write_mbps = 0;
+  double write_stddev = 0;
+};
+
+Point Measure(workload::Workload* w, db::Server* server, double seconds,
+              uint64_t seed) {
+  workload::Driver driver(server, seed);
+  driver.AddWorkload(w);
+  driver.Warm();
+  driver.Run(4.0);
+  const workload::RunResult res = driver.Run(seconds, 1.0);
+  Point p;
+  p.rows_per_sec = res.workloads[0].update_rows_per_sec.Mean();
+  p.write_mbps = res.server.write_mbps.Mean();
+  util::Accumulator acc;
+  for (double v : res.server.write_mbps.values()) acc.Add(v);
+  p.write_stddev = acc.Stddev();
+  return p;
+}
+
+}  // namespace
+}  // namespace kairos
+
+int main() {
+  using namespace kairos;
+
+  // ---- Panel (a): database size does not matter ----
+  bench::Banner("Figure 12a: database size does not matter (512 MB hot set)");
+  util::Table a({"rows_updated_per_sec", "DB 1GB (MB/s)", "DB 2GB (MB/s)",
+                 "DB 5GB (MB/s)"});
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 8 * util::kGiB;
+  for (double rate : {4000.0, 10000.0, 20000.0, 30000.0, 40000.0}) {
+    std::vector<std::string> row{util::FormatDouble(rate, 0)};
+    for (double db_gb : {1.0, 2.0, 5.0}) {
+      workload::MicroSpec spec;
+      spec.working_set_bytes = 512 * util::kMiB;
+      spec.data_bytes = static_cast<uint64_t>(db_gb * util::kGiB);
+      spec.updates_per_tx = 10;
+      spec.reads_per_tx = 2;
+      spec.cpu_us_per_tx = 120;
+      spec.pattern = std::make_shared<workload::FlatPattern>(rate / 10.0);
+      workload::MicroWorkload w("size", spec);
+      db::Server server(sim::MachineSpec::Server1(), cfg, bench::kSeed);
+      const Point p = Measure(&w, &server, 12.0, bench::kSeed);
+      row.push_back(util::FormatDouble(p.write_mbps, 2));
+    }
+    a.AddRow(row);
+  }
+  std::printf("%s", a.ToString().c_str());
+  std::printf("expected: columns nearly identical — only the working set "
+              "matters, not total database size.\n");
+
+  // ---- Panel (b): transaction type does not matter ----
+  bench::Banner(
+      "Figure 12b: transaction type does not matter (~2.2 GB working sets)");
+  util::Table b({"rows_updated_per_sec(target)", "tpcc30w MB/s", "(sd)",
+                 "wikipedia100Kp MB/s", "(sd)"});
+  for (double rate : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+    // TPC-C 30 warehouses: ~12 updated rows/tx.
+    workload::TpccWorkload tpcc(
+        "tpcc", 30, std::make_shared<workload::FlatPattern>(
+                        rate / workload::TpccWorkload::Profile().update_rows));
+    db::Server s1(sim::MachineSpec::Server1(), cfg, bench::kSeed);
+    const Point pt = Measure(&tpcc, &s1, 15.0, bench::kSeed);
+
+    // Wikipedia 100K pages: ~0.5 updated rows/tx, 67 GB of data.
+    workload::WikipediaWorkload wiki(
+        "wiki", 100, std::make_shared<workload::FlatPattern>(
+                         rate / workload::WikipediaWorkload::Profile().update_rows));
+    db::DbmsConfig wiki_cfg = cfg;
+    db::Server s2(sim::MachineSpec::Server1(), wiki_cfg, bench::kSeed);
+    const Point pw = Measure(&wiki, &s2, 15.0, bench::kSeed);
+
+    b.AddRow({util::FormatDouble(rate, 0), util::FormatDouble(pt.write_mbps, 2),
+              util::FormatDouble(pt.write_stddev, 2),
+              util::FormatDouble(pw.write_mbps, 2),
+              util::FormatDouble(pw.write_stddev, 2)});
+  }
+  std::printf("%s", b.ToString().c_str());
+  std::printf(
+      "expected: the two workloads impose similar write throughput at equal\n"
+      "update rates despite a ~14x database-size difference; Wikipedia shows\n"
+      "higher variance (70 B - 3.6 MB tuples).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Google-benchmark microbenchmarks of the hot primitives: buffer-pool
+// touches, flush-batch selection, disk-model evaluation, objective
+// evaluation and incremental move deltas, and DIRECT iterations. These
+// bound the cost of monitoring (must be negligible next to transaction
+// work) and of the consolidation engine's inner loops.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "db/buffer_pool.h"
+#include "db/flusher.h"
+#include "model/analytic.h"
+#include "opt/direct.h"
+#include "sim/disk.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace kairos {
+namespace {
+
+void BM_BufferPoolTouchHit(benchmark::State& state) {
+  db::BufferPool pool(1 << 16);
+  for (db::PageId p = 0; p < (1 << 16); ++p) pool.Touch(p, false);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.Touch(static_cast<db::PageId>(rng.UniformInt(0, (1 << 16) - 1)), false));
+  }
+}
+BENCHMARK(BM_BufferPoolTouchHit);
+
+void BM_BufferPoolTouchMissEvict(benchmark::State& state) {
+  db::BufferPool pool(1 << 12);
+  util::Rng rng(1);
+  db::PageId next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Touch(next++, (next & 3) == 0));
+  }
+}
+BENCHMARK(BM_BufferPoolTouchMissEvict);
+
+void BM_FlusherSelectBatch(benchmark::State& state) {
+  db::BufferPool pool(1 << 16);
+  util::Rng rng(2);
+  for (int i = 0; i < (1 << 14); ++i) {
+    pool.Touch(static_cast<db::PageId>(rng.UniformInt(0, (1 << 16) - 1)), true);
+  }
+  db::Flusher flusher{db::FlusherConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flusher.SelectBatch(pool, 0.1, 0.5, false, 120.0));
+  }
+}
+BENCHMARK(BM_FlusherSelectBatch);
+
+void BM_DiskSortedWriteCost(benchmark::State& state) {
+  sim::Disk disk{sim::DiskSpec{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.SortedWriteCost(1000, 16384, 4ULL << 30));
+  }
+}
+BENCHMARK(BM_DiskSortedWriteCost);
+
+void BM_DiskModelPredict(benchmark::State& state) {
+  const model::DiskModel m = model::BuildAnalyticModel(
+      sim::DiskSpec::Raid10(), model::AnalyticConfig{}, 96e9, 2000);
+  double ws = 1e9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.PredictWriteBytesPerSec(ws, 500.0));
+    ws = ws < 90e9 ? ws + 1e9 : 1e9;
+  }
+}
+BENCHMARK(BM_DiskModelPredict);
+
+core::ConsolidationProblem MakeProblem(int n, int samples) {
+  static std::vector<core::ConsolidationProblem> keep;
+  core::ConsolidationProblem prob;
+  util::Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(i);
+    std::vector<double> cpu(samples), ram(samples), rows(samples);
+    for (int t = 0; t < samples; ++t) {
+      cpu[t] = rng.Uniform(0.1, 1.5);
+      ram[t] = rng.Uniform(4e9, 20e9);
+      rows[t] = rng.Uniform(10, 200);
+    }
+    p.cpu_cores = util::TimeSeries(300, cpu);
+    p.ram_bytes = util::TimeSeries(300, ram);
+    p.update_rows_per_sec = util::TimeSeries(300, rows);
+    p.working_set_bytes = 8e9;
+    prob.workloads.push_back(p);
+  }
+  return prob;
+}
+
+void BM_EvaluatorFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto prob = MakeProblem(n, 288);
+  core::Evaluator ev(prob, std::max(2, n / 8));
+  util::Rng rng(3);
+  std::vector<int> assignment(ev.num_slots());
+  for (auto& a : assignment) a = static_cast<int>(rng.UniformInt(0, ev.max_servers() - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.Evaluate(assignment));
+  }
+}
+BENCHMARK(BM_EvaluatorFull)->Arg(32)->Arg(128)->Arg(196);
+
+void BM_EvaluatorMoveDelta(benchmark::State& state) {
+  const auto prob = MakeProblem(196, 288);
+  core::Evaluator ev(prob, 24);
+  util::Rng rng(3);
+  std::vector<int> assignment(ev.num_slots());
+  for (auto& a : assignment) a = static_cast<int>(rng.UniformInt(0, 23));
+  ev.Load(assignment);
+  for (auto _ : state) {
+    const int slot = static_cast<int>(rng.UniformInt(0, ev.num_slots() - 1));
+    const int to = static_cast<int>(rng.UniformInt(0, 23));
+    benchmark::DoNotOptimize(ev.MoveDelta(slot, to));
+  }
+}
+BENCHMARK(BM_EvaluatorMoveDelta);
+
+void BM_DirectSphere(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  opt::DirectOptimizer direct;
+  opt::DirectOptions opts;
+  opts.max_evaluations = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct.Minimize(
+        [](const std::vector<double>& x) {
+          double s = 0;
+          for (double xi : x) s += (xi - 0.4) * (xi - 0.4);
+          return s;
+        },
+        dims, opts));
+  }
+}
+BENCHMARK(BM_DirectSphere)->Arg(4)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace kairos
+
+BENCHMARK_MAIN();

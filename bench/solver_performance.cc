@@ -1,0 +1,72 @@
+// Section 6 / 7.5: solver performance.
+//
+// Compares the bounded-K binary-search strategy (fractional lower bound,
+// greedy upper bound, feasibility probes, then a polish at K') against a
+// direct application of the solver to the full space. Expected shape
+// (paper): the bounded search is dramatically faster (up to 45x on the
+// Wikia statistics — over 33 min unbounded vs 44 s bounded) at equal or
+// better solution quality, and all individual datasets solve within
+// minutes.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "trace/dataset.h"
+#include "util/table.h"
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace kairos;
+  bench::Banner("Solver performance: bounded-K binary search vs. full space");
+
+  const model::DiskModel disk_model = bench::TargetDiskModel();
+  trace::DatasetGenerator gen(bench::kSeed);
+
+  util::Table table({"dataset", "workloads", "bounded-K (s)", "servers",
+                     "full-space (s)", "servers", "speedup"});
+  for (auto kind : trace::AllDatasets()) {
+    const auto traces = gen.Generate(kind);
+    core::ConsolidationProblem prob;
+    prob.workloads = trace::ToProfiles(traces);
+    prob.disk_model = &disk_model;
+
+    core::EngineOptions bounded;
+    const double t0 = Now();
+    const auto plan_bounded = core::ConsolidationEngine(prob, bounded).Solve();
+    const double bounded_s = Now() - t0;
+
+    core::EngineOptions full;
+    full.use_bounded_k = false;
+    // Give the unbounded solver a budget that reaches comparable quality;
+    // its space is max_servers = N, so it needs far more work per step.
+    full.direct_evaluations = 20000;
+    full.local_search_max_sweeps = 200;
+    const double t1 = Now();
+    const auto plan_full = core::ConsolidationEngine(prob, full).Solve();
+    const double full_s = Now() - t1;
+
+    table.AddRow({trace::DatasetName(kind), std::to_string(traces.size()),
+                  util::FormatDouble(bounded_s, 2),
+                  std::to_string(plan_bounded.servers_used) +
+                      (plan_bounded.feasible ? "" : "!"),
+                  util::FormatDouble(full_s, 2),
+                  std::to_string(plan_full.servers_used) +
+                      (plan_full.feasible ? "" : "!"),
+                  util::FormatDouble(full_s / std::max(1e-3, bounded_s), 1) + "x"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\n'!' marks an infeasible result. Expected: bounded-K much "
+              "faster at equal-or-fewer servers (paper: up to 45x; all "
+              "individual datasets under 8 minutes).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: monitor three database workloads, gauge their RAM, and ask
+// the consolidation engine whether they fit one server.
+//
+//   build/examples/quickstart
+//
+// Walks the full Kairos pipeline on a small, fast scenario:
+//   1. run each workload on its own (simulated) dedicated server,
+//   2. gauge the true RAM working set with the probe-table technique,
+//   3. collect WorkloadProfiles with the resource monitor,
+//   4. solve the consolidation problem,
+//   5. print the resulting plan.
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.h"
+#include "db/server.h"
+#include "monitor/gauge.h"
+#include "monitor/resource_monitor.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/micro.h"
+#include "workload/patterns.h"
+
+using namespace kairos;
+
+namespace {
+
+// Profile one workload the way an operator would: attach the monitor to
+// the production server, gauge, and collect statistics for a while.
+monitor::WorkloadProfile ProfileWorkload(const std::string& name, uint64_t ws_mb,
+                                         double tps, double cpu_us, uint64_t seed) {
+  // The "production" deployment: a dedicated 8-core/32 GB server with an
+  // over-provisioned 8 GB buffer pool (most of it unused — which is the
+  // consolidation opportunity).
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 8 * util::kGiB;
+  db::Server server(sim::MachineSpec::Server1(), cfg, seed);
+
+  workload::MicroSpec spec;
+  spec.working_set_bytes = ws_mb * util::kMiB;
+  spec.data_bytes = 2 * ws_mb * util::kMiB;
+  spec.reads_per_tx = 4;
+  spec.updates_per_tx = 2;
+  spec.cpu_us_per_tx = cpu_us;
+  spec.pattern = std::make_shared<workload::FlatPattern>(tps);
+  workload::MicroWorkload w(name, spec);
+
+  workload::Driver driver(&server, seed);
+  driver.AddWorkload(&w);
+  driver.Warm();
+  driver.Run(5.0);
+
+  // Step 2: buffer pool gauging — how much RAM does it actually need?
+  monitor::BufferPoolGauge gauge(monitor::GaugeConfig{});
+  const monitor::GaugeResult gauged = gauge.Run(&driver);
+  std::printf("[%s] gauged working set: %.0f MB (buffer pool: %.0f MB)\n",
+              name.c_str(), util::ToMiB(gauged.working_set_bytes),
+              util::ToMiB(cfg.buffer_pool_bytes));
+
+  // Step 3: collect the resource profile.
+  monitor::ResourceMonitor monitor(monitor::MonitorConfig{});
+  auto profiles =
+      monitor.Collect(&driver, 15.0, {&w}, {{name, gauged.working_set_bytes}});
+  return profiles[0];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Kairos quickstart: can these three databases share a server?\n\n");
+
+  // Step 1-3: profile each workload on its dedicated server.
+  core::ConsolidationProblem problem;
+  problem.workloads.push_back(ProfileWorkload("orders", 256, 150, 400, 1));
+  problem.workloads.push_back(ProfileWorkload("catalog", 384, 100, 600, 2));
+  problem.workloads.push_back(ProfileWorkload("sessions", 128, 200, 300, 3));
+
+  // Step 4: consolidate onto Server1-class machines.
+  problem.target_machine = sim::MachineSpec::Server1();
+  core::ConsolidationEngine engine(problem, core::EngineOptions{});
+  const core::ConsolidationPlan plan = engine.Solve();
+
+  // Step 5: the plan.
+  std::printf("\n%s\n", plan.Render().c_str());
+  for (size_t slot = 0; slot < plan.assignment.server_of_slot.size(); ++slot) {
+    std::printf("  %s -> server %d\n", problem.workloads[slot].name.c_str(),
+                plan.assignment.server_of_slot[slot]);
+  }
+  std::printf("\n3 dedicated servers -> %d consolidated (%.1f:1)\n",
+              plan.servers_used, plan.consolidation_ratio);
+  return plan.feasible ? 0 : 1;
+}

@@ -1,0 +1,293 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "opt/direct.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace kairos::core {
+
+ConsolidationEngine::ConsolidationEngine(const ConsolidationProblem& problem,
+                                         const EngineOptions& options)
+    : problem_(problem), options_(options) {}
+
+Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k) const {
+  Assignment a;
+  a.server_of_slot.resize(x.size());
+  int slot = 0;
+  for (const auto& w : problem_.workloads) {
+    for (int r = 0; r < w.replicas; ++r, ++slot) {
+      if (w.pinned_server >= 0 && w.pinned_server < k) {
+        a.server_of_slot[slot] = w.pinned_server;
+      } else {
+        int j = static_cast<int>(x[slot] * k);
+        a.server_of_slot[slot] = std::clamp(j, 0, k - 1);
+      }
+    }
+  }
+  return a;
+}
+
+Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value,
+                                          int* evals_out) {
+  Evaluator ev(problem_, k);
+  const int dims = ev.num_slots();
+  opt::DirectOptimizer direct;
+  opt::DirectOptions opts;
+  opts.max_evaluations = budget;
+  opts.epsilon = options_.direct_epsilon;
+  opts.target_value = target_value;
+  const auto objective = [&](const std::vector<double>& x) {
+    return ev.Evaluate(DecodePoint(x, k).server_of_slot);
+  };
+  const opt::DirectResult res = direct.Minimize(objective, dims, opts);
+  if (evals_out) *evals_out = res.evaluations;
+  return DecodePoint(res.x, k);
+}
+
+void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng) {
+  const int slots = ev->num_slots();
+  const int k = ev->max_servers();
+  std::vector<int> order(slots);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    // Relocation pass (best-improvement per slot).
+    for (int i = slots - 1; i > 0; --i) {
+      std::swap(order[i], order[static_cast<int>(rng->UniformInt(0, i))]);
+    }
+    for (int slot : order) {
+      if (ev->PinOfSlot(slot) >= 0) continue;
+      double best_delta = -1e-9;
+      int best_to = -1;
+      for (int j = 0; j < k; ++j) {
+        if (j == ev->assignment()[slot]) continue;
+        const double d = ev->MoveDelta(slot, j);
+        if (d < best_delta) {
+          best_delta = d;
+          best_to = j;
+        }
+      }
+      if (best_to >= 0) {
+        ev->ApplyMove(slot, best_to);
+        improved = true;
+      }
+    }
+    // Swap pass: random pairs; keep improving swaps.
+    const int swap_tries = slots * 2;
+    for (int i = 0; i < swap_tries; ++i) {
+      const int a = static_cast<int>(rng->UniformInt(0, slots - 1));
+      const int b = static_cast<int>(rng->UniformInt(0, slots - 1));
+      if (a == b) continue;
+      if (ev->PinOfSlot(a) >= 0 || ev->PinOfSlot(b) >= 0) continue;
+      const int sa = ev->assignment()[a];
+      const int sb = ev->assignment()[b];
+      if (sa == sb) continue;
+      const double before = ev->current_cost();
+      ev->ApplyMove(a, sb);
+      ev->ApplyMove(b, sa);
+      if (ev->current_cost() > before - 1e-9) {
+        ev->ApplyMove(b, sb);
+        ev->ApplyMove(a, sa);
+      } else {
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
+  if (k < 1) return false;
+  util::Rng rng(options_.seed ^ (0x9E37ULL * static_cast<uint64_t>(k)));
+
+  // 1. Multi-resource greedy restricted to k servers, then local search.
+  bool greedy_clean = false;
+  Assignment seed = GreedyMultiResource(problem_, k, &greedy_clean);
+  Evaluator ev(problem_, k);
+  ev.Load(seed.server_of_slot);
+  if (!ev.IsFeasible()) {
+    LocalSearch(&ev, options_.local_search_max_sweeps, &rng);
+  }
+  if (ev.IsFeasible()) {
+    if (out) out->server_of_slot = ev.assignment();
+    return true;
+  }
+
+  // 2. DIRECT global probe with early stop at the first feasible value,
+  //    then a final repair pass.
+  const double feasible_threshold =
+      static_cast<double>(k) * (kServerCost + std::exp(1.0));
+  int evals = 0;
+  Assignment candidate = RunDirect(k, direct_budget, feasible_threshold, &evals);
+  evaluations_ += evals;
+  ev.Load(candidate.server_of_slot);
+  if (!ev.IsFeasible()) {
+    LocalSearch(&ev, options_.local_search_max_sweeps, &rng);
+  }
+  if (ev.IsFeasible()) {
+    if (out) out->server_of_slot = ev.assignment();
+    return true;
+  }
+  return false;
+}
+
+ConsolidationPlan ConsolidationEngine::Solve() {
+  const auto start = std::chrono::steady_clock::now();
+  ConsolidationPlan plan;
+  evaluations_ = 0;
+
+  const int num_slots = problem_.TotalSlots();
+  if (num_slots == 0) return plan;
+  const int hard_cap =
+      problem_.max_servers > 0 ? problem_.max_servers : num_slots;
+
+  plan.fractional_lower_bound = FractionalLowerBound(problem_);
+
+  // Greedy baseline & upper bound.
+  const GreedyResult greedy = GreedyBaseline(problem_, hard_cap);
+  plan.greedy_servers = greedy.feasible ? greedy.servers_used : -1;
+  int upper = greedy.feasible ? greedy.servers_used : hard_cap;
+  upper = std::min(upper, hard_cap);
+  int lower = std::max(1, plan.fractional_lower_bound);
+  if (lower > upper) lower = upper;
+
+  Assignment best;
+  int best_k = -1;
+
+  if (options_.use_bounded_k) {
+    // Binary search for the smallest feasible K' (Section 6).
+    // First make sure the upper bound actually works.
+    Assignment a;
+    if (ProbeK(upper, options_.probe_direct_evaluations, &a)) {
+      best = a;
+      best_k = upper;
+      int lo = lower, hi = upper;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        Assignment mid_a;
+        if (ProbeK(mid, options_.probe_direct_evaluations, &mid_a)) {
+          best = mid_a;
+          best_k = mid;
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    } else {
+      // Relax upward until something fits.
+      for (int k = upper + 1; k <= hard_cap; ++k) {
+        Assignment a2;
+        if (ProbeK(k, options_.probe_direct_evaluations, &a2)) {
+          best = a2;
+          best_k = k;
+          break;
+        }
+      }
+    }
+  } else {
+    // Ablation: one full-space solve (no bounding of K).
+    int evals = 0;
+    const Assignment direct_a = RunDirect(hard_cap, options_.direct_evaluations,
+                                          -1e300, &evals);
+    evaluations_ += evals;
+    util::Rng rng(options_.seed);
+    Evaluator ev(problem_, hard_cap);
+    ev.Load(direct_a.server_of_slot);
+    LocalSearch(&ev, options_.local_search_max_sweeps, &rng);
+    best.server_of_slot = ev.assignment();
+    best_k = hard_cap;
+  }
+
+  if (best_k < 0) {
+    // Nothing feasible at all: report the greedy/fallback assignment.
+    bool clean = false;
+    best = GreedyMultiResource(problem_, hard_cap, &clean);
+    best_k = hard_cap;
+  }
+
+  // Final polish at K' with the full budget: DIRECT for global moves, then
+  // local search, keeping the best feasible incumbent.
+  {
+    util::Rng rng(options_.seed + 17);
+    Evaluator ev(problem_, best_k);
+    ev.Load(best.server_of_slot);
+    LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng);
+    double best_cost = ev.current_cost();
+    std::vector<int> best_assign = ev.assignment();
+    const bool best_feasible = ev.IsFeasible();
+
+    if (options_.use_bounded_k) {
+      int evals = 0;
+      Assignment polished =
+          RunDirect(best_k, options_.direct_evaluations, -1e300, &evals);
+      evaluations_ += evals;
+      Evaluator ev2(problem_, best_k);
+      ev2.Load(polished.server_of_slot);
+      LocalSearch(&ev2, options_.local_search_max_sweeps, &rng);
+      if (ev2.current_cost() < best_cost && (ev2.IsFeasible() || !best_feasible)) {
+        best_cost = ev2.current_cost();
+        best_assign = ev2.assignment();
+      }
+    }
+
+    // Load the winner for reporting.
+    Evaluator final_ev(problem_, best_k);
+    final_ev.Load(best_assign);
+    plan.assignment.server_of_slot = best_assign;
+    plan.feasible = final_ev.IsFeasible();
+    plan.objective = final_ev.current_cost();
+    plan.servers_used = plan.assignment.ServersUsed();
+    plan.consolidation_ratio =
+        plan.servers_used > 0
+            ? static_cast<double>(num_slots) / static_cast<double>(plan.servers_used)
+            : 0.0;
+    for (int j = 0; j < best_k; ++j) {
+      Evaluator::ServerLoad load = final_ev.GetServerLoad(j);
+      if (load.used) plan.server_loads.push_back(std::move(load));
+    }
+  }
+
+  plan.solver_evaluations = evaluations_;
+  plan.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return plan;
+}
+
+std::string ConsolidationPlan::Render() const {
+  std::ostringstream out;
+  out << "consolidation plan: " << (feasible ? "FEASIBLE" : "INFEASIBLE")
+      << ", servers=" << servers_used << " (ratio " << util::FormatDouble(
+             consolidation_ratio, 1)
+      << ":1, fractional bound " << fractional_lower_bound << ", greedy "
+      << (greedy_servers >= 0 ? std::to_string(greedy_servers) : std::string("n/a"))
+      << "), solve " << util::FormatDouble(solve_seconds, 2) << "s\n";
+  util::Table table({"server", "slots", "peak cpu (cores)", "peak ram (GB)",
+                     "mean cpu", "p95 cpu"});
+  for (size_t j = 0; j < server_loads.size(); ++j) {
+    const auto& s = server_loads[j];
+    util::Accumulator cpu;
+    for (double v : s.cpu_cores) cpu.Add(v);
+    table.AddRow({std::to_string(j), std::to_string(s.num_slots),
+                  util::FormatDouble(cpu.Max(), 2),
+                  util::FormatDouble(s.ram_bytes.empty()
+                                         ? 0.0
+                                         : *std::max_element(s.ram_bytes.begin(),
+                                                             s.ram_bytes.end()) /
+                                               static_cast<double>(util::kGiB),
+                                     1),
+                  util::FormatDouble(cpu.Mean(), 2),
+                  util::FormatDouble(util::Percentile(s.cpu_cores, 95.0), 2)});
+  }
+  out << table.ToString();
+  return out.str();
+}
+
+}  // namespace kairos::core

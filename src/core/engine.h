@@ -1,0 +1,86 @@
+// The consolidation engine (Sections 5-6): solves the mixed-integer
+// nonlinear program with the DIRECT global optimizer, accelerated by a
+// binary search on the server count K between the fractional lower bound
+// and a greedy upper bound, and polished with a discrete local search (the
+// paper's "polishing" around the incumbent).
+#ifndef KAIROS_CORE_ENGINE_H_
+#define KAIROS_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+#include "util/rng.h"
+
+namespace kairos::core {
+
+/// Solver budgets and switches.
+struct EngineOptions {
+  uint64_t seed = 1;
+  /// DIRECT evaluation budget for the final bounded-K solve.
+  int direct_evaluations = 4000;
+  /// DIRECT evaluation budget per binary-search feasibility probe.
+  int probe_direct_evaluations = 800;
+  /// Local-search sweep cap (each sweep tries every slot against every
+  /// server, plus a swap pass).
+  int local_search_max_sweeps = 60;
+  /// Section 6 optimization: binary search on K. Disable to solve the full
+  /// space directly (the ablation of the solver-performance experiment).
+  bool use_bounded_k = true;
+  /// DIRECT local/global balance.
+  double direct_epsilon = 1e-3;
+};
+
+/// Output of one engine run.
+struct ConsolidationPlan {
+  Assignment assignment;
+  bool feasible = false;
+  int servers_used = 0;
+  double objective = 0;
+  /// Source servers (slots) per consolidated server.
+  double consolidation_ratio = 0;
+  int fractional_lower_bound = 0;
+  /// Greedy baseline server count (-1 when greedy found nothing feasible).
+  int greedy_servers = -1;
+  /// Per-used-server load summaries, indexed densely (only used servers).
+  std::vector<Evaluator::ServerLoad> server_loads;
+  double solve_seconds = 0;
+  int solver_evaluations = 0;
+
+  /// Human-readable summary.
+  std::string Render() const;
+};
+
+/// Solves ConsolidationProblems.
+class ConsolidationEngine {
+ public:
+  ConsolidationEngine(const ConsolidationProblem& problem, const EngineOptions& options);
+
+  /// Runs the full pipeline and returns the best plan found.
+  ConsolidationPlan Solve();
+
+  /// Tries to find a feasible assignment using at most `k` servers within
+  /// the probe budget. Exposed for the solver-performance experiments.
+  bool ProbeK(int k, int direct_budget, Assignment* out);
+
+ private:
+  /// First-improvement local search with an extra swap pass.
+  void LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng);
+
+  /// DIRECT over the slot->server encoding with `k` servers.
+  Assignment RunDirect(int k, int budget, double target_value, int* evals_out);
+
+  /// Respects pins when decoding DIRECT points.
+  Assignment DecodePoint(const std::vector<double>& x, int k) const;
+
+  const ConsolidationProblem& problem_;
+  EngineOptions options_;
+  int evaluations_ = 0;
+};
+
+}  // namespace kairos::core
+
+#endif  // KAIROS_CORE_ENGINE_H_

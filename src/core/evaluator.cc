@@ -1,0 +1,295 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kairos::core {
+
+namespace {
+/// Affinity violations are counted in units of this many "relative excess"
+/// points, so they share the violation penalty scale.
+constexpr double kAffinityUnit = 0.1;
+constexpr double kPinPenalty = 1e9;
+}  // namespace
+
+Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
+    : problem_(problem), max_servers_(max_servers) {
+  num_slots_ = problem.TotalSlots();
+  assert(max_servers_ >= 1);
+
+  // Common sample count across all profiles.
+  size_t n = SIZE_MAX;
+  for (const auto& w : problem.workloads) {
+    n = std::min({n, w.cpu_cores.size(), w.ram_bytes.size(),
+                  w.update_rows_per_sec.size()});
+  }
+  if (n == SIZE_MAX || n == 0) n = 1;
+  num_samples_ = static_cast<int>(n);
+
+  slot_cpu_.reserve(num_slots_);
+  slot_ram_.reserve(num_slots_);
+  slot_rate_.reserve(num_slots_);
+  const double overhead = problem.per_instance_cpu_overhead_cores;
+  for (int wi = 0; wi < static_cast<int>(problem.workloads.size()); ++wi) {
+    const auto& w = problem.workloads[wi];
+    std::vector<double> cpu(n), ram(n), rate(n);
+    for (size_t t = 0; t < n; ++t) {
+      // Each dedicated-server profile includes one instance overhead; store
+      // the workload's intrinsic demand and re-add a single overhead per
+      // used server in ServerCost().
+      cpu[t] = std::max(0.0, w.cpu_cores.at(t) - overhead);
+      ram[t] = w.ram_bytes.at(t);
+      rate[t] = w.update_rows_per_sec.at(t);
+    }
+    for (int r = 0; r < w.replicas; ++r) {
+      slot_cpu_.push_back(cpu);
+      slot_ram_.push_back(ram);
+      slot_rate_.push_back(rate);
+      slot_ws_.push_back(w.working_set_bytes);
+      workload_of_slot_.push_back(wi);
+      pin_of_slot_.push_back(w.pinned_server);
+    }
+  }
+
+  cpu_full_ = problem.target_machine.StandardCores();
+  ram_full_ = static_cast<double>(problem.target_machine.ram_bytes);
+  cpu_capacity_ = cpu_full_ * problem.cpu_headroom;
+  ram_capacity_ = ram_full_ * problem.ram_headroom;
+}
+
+void Evaluator::Apply(ServerState* s, int slot, double sign) const {
+  if (s->cpu.empty()) {
+    s->cpu.assign(num_samples_, 0.0);
+    s->ram.assign(num_samples_, 0.0);
+    s->rate.assign(num_samples_, 0.0);
+  }
+  const auto& cpu = slot_cpu_[slot];
+  const auto& ram = slot_ram_[slot];
+  const auto& rate = slot_rate_[slot];
+  for (int t = 0; t < num_samples_; ++t) {
+    s->cpu[t] += sign * cpu[t];
+    s->ram[t] += sign * ram[t];
+    s->rate[t] += sign * rate[t];
+  }
+  s->ws += sign * slot_ws_[slot];
+  s->count += sign > 0 ? 1 : -1;
+}
+
+double Evaluator::ServerCost(const ServerState& s) const {
+  if (s.count <= 0) return 0.0;
+  const double overhead = problem_.per_instance_cpu_overhead_cores;
+  const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
+  const double wsum =
+      problem_.cpu_weight + problem_.ram_weight + problem_.disk_weight;
+
+  double disk_cap = 0;
+  const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
+  if (has_disk) {
+    disk_cap = problem_.disk_model->MaxSustainableRate(std::max(0.0, s.ws));
+  }
+
+  double exp_sum = 0;
+  double violation = 0;
+  for (int t = 0; t < num_samples_; ++t) {
+    const double cpu = s.cpu[t] + overhead;
+    const double ram = s.ram[t] + ram_overhead;
+    const double u_cpu = cpu / cpu_full_;
+    const double u_ram = ram / ram_full_;
+    double u_disk = 0;
+    if (has_disk && disk_cap > 0) u_disk = s.rate[t] / disk_cap;
+
+    double load = (problem_.cpu_weight * std::min(u_cpu, 1.5) +
+                   problem_.ram_weight * std::min(u_ram, 1.5) +
+                   problem_.disk_weight * std::min(u_disk, 1.5)) /
+                  wsum;
+    exp_sum += std::exp(std::min(load, 1.0));
+
+    violation += std::max(0.0, cpu / cpu_capacity_ - 1.0);
+    violation += std::max(0.0, ram / ram_capacity_ - 1.0);
+    if (has_disk && disk_cap > 0) {
+      violation +=
+          std::max(0.0, s.rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
+    }
+  }
+  violation /= static_cast<double>(num_samples_);
+
+  double cost = kServerCost + exp_sum / static_cast<double>(num_samples_);
+  if (violation > 1e-12) cost += kViolationBase + kViolationScale * violation;
+  return cost;
+}
+
+void Evaluator::RecomputeServer(ServerState* s) const {
+  s->cost = ServerCost(*s);
+  // Extract the violation part for feasibility tracking.
+  if (s->count <= 0) {
+    s->violation = 0;
+    return;
+  }
+  // Recompute violation identically to ServerCost (kept in one place would
+  // need an out-param; mirror the arithmetic via cost decomposition).
+  // Cheaper: violation = (cost - base - exp part) / scale when penalized.
+  // To stay exact we recompute directly:
+  const double overhead = problem_.per_instance_cpu_overhead_cores;
+  const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
+  double disk_cap = 0;
+  const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
+  if (has_disk) disk_cap = problem_.disk_model->MaxSustainableRate(std::max(0.0, s->ws));
+  double violation = 0;
+  for (int t = 0; t < num_samples_; ++t) {
+    violation += std::max(0.0, (s->cpu[t] + overhead) / cpu_capacity_ - 1.0);
+    violation += std::max(0.0, (s->ram[t] + ram_overhead) / ram_capacity_ - 1.0);
+    if (has_disk && disk_cap > 0) {
+      violation +=
+          std::max(0.0, s->rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
+    }
+  }
+  s->violation = violation / static_cast<double>(num_samples_);
+}
+
+double Evaluator::AffinityViolations(const std::vector<int>& assignment) const {
+  double units = 0;
+  // Replica anti-affinity: two slots of the same workload on one server.
+  for (int a = 0; a < num_slots_; ++a) {
+    for (int b = a + 1; b < num_slots_; ++b) {
+      if (assignment[a] == assignment[b] &&
+          workload_of_slot_[a] == workload_of_slot_[b]) {
+        units += 1;
+      }
+    }
+  }
+  // Explicit anti-affinity pairs.
+  for (const auto& [wa, wb] : problem_.anti_affinity) {
+    for (int a = 0; a < num_slots_; ++a) {
+      if (workload_of_slot_[a] != wa) continue;
+      for (int b = 0; b < num_slots_; ++b) {
+        if (workload_of_slot_[b] == wb && assignment[a] == assignment[b]) units += 1;
+      }
+    }
+  }
+  return units;
+}
+
+double Evaluator::Evaluate(const std::vector<int>& assignment) const {
+  assert(static_cast<int>(assignment.size()) == num_slots_);
+  std::vector<ServerState> servers(max_servers_);
+  double pin_penalty = 0;
+  for (int s = 0; s < num_slots_; ++s) {
+    const int j = assignment[s];
+    assert(j >= 0 && j < max_servers_);
+    Apply(&servers[j], s, +1.0);
+    if (pin_of_slot_[s] >= 0 && pin_of_slot_[s] != j) pin_penalty += kPinPenalty;
+  }
+  double cost = pin_penalty;
+  for (auto& srv : servers) cost += ServerCost(srv);
+  const double aff = AffinityViolations(assignment);
+  if (aff > 0) cost += aff * (kViolationBase + kViolationScale * kAffinityUnit);
+  return cost;
+}
+
+void Evaluator::Load(const std::vector<int>& assignment) {
+  assert(static_cast<int>(assignment.size()) == num_slots_);
+  assignment_ = assignment;
+  servers_.assign(max_servers_, ServerState());
+  for (int s = 0; s < num_slots_; ++s) Apply(&servers_[assignment[s]], s, +1.0);
+  current_cost_ = 0;
+  total_violation_ = 0;
+  for (auto& srv : servers_) {
+    RecomputeServer(&srv);
+    current_cost_ += srv.cost;
+    total_violation_ += srv.violation;
+  }
+  const double aff = AffinityViolations(assignment_);
+  if (aff > 0) {
+    current_cost_ += aff * (kViolationBase + kViolationScale * kAffinityUnit);
+    total_violation_ += aff * kAffinityUnit;
+  }
+  for (int s = 0; s < num_slots_; ++s) {
+    if (pin_of_slot_[s] >= 0 && pin_of_slot_[s] != assignment_[s]) {
+      current_cost_ += kPinPenalty;
+      total_violation_ += 1.0;
+    }
+  }
+}
+
+double Evaluator::SlotAffinity(int slot, int server) const {
+  double units = 0;
+  const int w = workload_of_slot_[slot];
+  for (int b = 0; b < num_slots_; ++b) {
+    if (b == slot || assignment_[b] != server) continue;
+    if (workload_of_slot_[b] == w) units += 1;
+    for (const auto& [wa, wb] : problem_.anti_affinity) {
+      if ((workload_of_slot_[b] == wa && w == wb) ||
+          (workload_of_slot_[b] == wb && w == wa)) {
+        units += 1;
+      }
+    }
+  }
+  return units;
+}
+
+double Evaluator::MoveDelta(int slot, int to) const {
+  const int from = assignment_[slot];
+  if (to == from) return 0.0;
+  if (pin_of_slot_[slot] >= 0 && to != pin_of_slot_[slot]) return kPinPenalty;
+
+  ServerState from_copy = servers_[from];
+  Apply(&from_copy, slot, -1.0);
+  ServerState to_copy = servers_[to];
+  Apply(&to_copy, slot, +1.0);
+
+  double delta = ServerCost(from_copy) - servers_[from].cost +
+                 ServerCost(to_copy) - servers_[to].cost;
+  delta += (SlotAffinity(slot, to) - SlotAffinity(slot, from)) *
+           (kViolationBase + kViolationScale * kAffinityUnit);
+  return delta;
+}
+
+void Evaluator::ApplyMove(int slot, int to) {
+  const int from = assignment_[slot];
+  if (to == from) return;
+  const double delta = MoveDelta(slot, to);
+  const double affinity_delta = SlotAffinity(slot, to) - SlotAffinity(slot, from);
+
+  current_cost_ += delta;
+  total_violation_ -= servers_[from].violation + servers_[to].violation;
+
+  Apply(&servers_[from], slot, -1.0);
+  Apply(&servers_[to], slot, +1.0);
+  assignment_[slot] = to;
+  RecomputeServer(&servers_[from]);
+  RecomputeServer(&servers_[to]);
+  total_violation_ += servers_[from].violation + servers_[to].violation;
+  total_violation_ += affinity_delta * kAffinityUnit;
+}
+
+Evaluator::ServerLoad Evaluator::GetServerLoad(int j) const {
+  ServerLoad out;
+  const ServerState& s = servers_[j];
+  out.used = s.count > 0;
+  out.num_slots = std::max(0, s.count);
+  out.violation = s.violation;
+  if (!out.used) return out;
+  const double overhead = problem_.per_instance_cpu_overhead_cores;
+  const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
+  out.cpu_cores.resize(num_samples_);
+  out.ram_bytes.resize(num_samples_);
+  out.update_rows_per_sec.resize(num_samples_);
+  for (int t = 0; t < num_samples_; ++t) {
+    out.cpu_cores[t] = s.cpu[t] + overhead;
+    out.ram_bytes[t] = s.ram[t] + ram_overhead;
+    out.update_rows_per_sec[t] = s.rate[t];
+  }
+  out.working_set_bytes = s.ws;
+  return out;
+}
+
+int Assignment::ServersUsed() const {
+  std::vector<int> seen;
+  for (int s : server_of_slot) {
+    if (std::find(seen.begin(), seen.end(), s) == seen.end()) seen.push_back(s);
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace kairos::core

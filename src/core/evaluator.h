@@ -1,0 +1,125 @@
+// Objective function and constraint evaluation (the landscape of Figure 5):
+//   minimize  sum_j [ used_j * (C_server + mean_t exp(load_tj)) + penalty_j ]
+// where load_tj is the normalized weighted resource utilization of server j
+// at time t, C_server makes one fewer server always preferable to any
+// rebalancing, and penalty_j spikes when capacity, replication, or
+// anti-affinity constraints are violated.
+//
+// Supports both one-shot evaluation (for DIRECT) and cached incremental
+// move evaluation (for the local-search polish).
+#ifndef KAIROS_CORE_EVALUATOR_H_
+#define KAIROS_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace kairos::core {
+
+/// Weight of one used server in the objective: dominates any balance
+/// improvement, so minimizing the objective minimizes server count first
+/// (the paper's signum term).
+inline constexpr double kServerCost = 1e3;
+/// Fixed penalty for a server with any constraint violation.
+inline constexpr double kViolationBase = 2e3;
+/// Proportional penalty per unit of relative constraint excess.
+inline constexpr double kViolationScale = 1e7;
+
+/// Evaluates assignments for one ConsolidationProblem.
+class Evaluator {
+ public:
+  /// `max_servers` bounds the server indices assignments may use.
+  Evaluator(const ConsolidationProblem& problem, int max_servers);
+
+  int num_slots() const { return num_slots_; }
+  int max_servers() const { return max_servers_; }
+  int num_samples() const { return num_samples_; }
+  /// Workload index of a slot.
+  int WorkloadOfSlot(int slot) const { return workload_of_slot_[slot]; }
+  /// Pinned server of a slot (-1 if free).
+  int PinOfSlot(int slot) const { return pin_of_slot_[slot]; }
+
+  /// One-shot evaluation of an assignment (no cached state touched).
+  double Evaluate(const std::vector<int>& assignment) const;
+
+  /// Loads `assignment` into the incremental cache.
+  void Load(const std::vector<int>& assignment);
+  /// Cached objective of the loaded assignment.
+  double current_cost() const { return current_cost_; }
+  /// Cached assignment.
+  const std::vector<int>& assignment() const { return assignment_; }
+  /// Objective delta if `slot` moved to `to` (no state change).
+  double MoveDelta(int slot, int to) const;
+  /// Applies a move and updates the cache.
+  void ApplyMove(int slot, int to);
+  /// True when the loaded assignment violates no constraint.
+  bool IsFeasible() const { return total_violation_ <= 0.0; }
+  /// Total relative constraint excess of the loaded assignment.
+  double total_violation() const { return total_violation_; }
+
+  /// Per-server combined load of the loaded assignment (for reports).
+  struct ServerLoad {
+    bool used = false;
+    std::vector<double> cpu_cores;         ///< Over time.
+    std::vector<double> ram_bytes;         ///< Over time.
+    std::vector<double> update_rows_per_sec;
+    double working_set_bytes = 0;
+    int num_slots = 0;
+    double violation = 0;
+  };
+  /// Snapshot of server `j`'s load (requires Load()).
+  ServerLoad GetServerLoad(int j) const;
+
+  /// Capacities after headroom.
+  double cpu_capacity() const { return cpu_capacity_; }
+  double ram_capacity_bytes() const { return ram_capacity_; }
+
+ private:
+  struct ServerState {
+    std::vector<double> cpu;   // summed cpu over time (incl. overhead corr.)
+    std::vector<double> ram;   // summed required ram over time
+    std::vector<double> rate;  // summed update rows/sec over time
+    double ws = 0;             // summed working sets
+    int count = 0;             // slots placed here
+    double cost = 0;           // cached cost contribution
+    double violation = 0;      // cached relative excess
+  };
+
+  /// Recomputes one server's cached cost + violation from its sums.
+  void RecomputeServer(ServerState* s) const;
+  /// Cost contribution of a server state (stateless helper).
+  double ServerCost(const ServerState& s) const;
+  /// Adds/removes slot series into a server state.
+  void Apply(ServerState* s, int slot, double sign) const;
+  /// Anti-affinity violation count for the cached assignment.
+  double AffinityViolations(const std::vector<int>& assignment) const;
+  /// Affinity units between `slot` and other slots currently on `server`.
+  double SlotAffinity(int slot, int server) const;
+
+  const ConsolidationProblem& problem_;
+  int max_servers_;
+  int num_slots_;
+  int num_samples_;
+
+  // Flattened per-slot series (all resampled to num_samples_).
+  std::vector<std::vector<double>> slot_cpu_, slot_ram_, slot_rate_;
+  std::vector<double> slot_ws_;
+  std::vector<int> workload_of_slot_;
+  std::vector<int> pin_of_slot_;
+
+  double cpu_capacity_ = 0;   // cores * headroom
+  double ram_capacity_ = 0;   // bytes * headroom
+  double cpu_full_ = 0;       // cores (for normalized load)
+  double ram_full_ = 0;
+
+  // Incremental cache.
+  std::vector<int> assignment_;
+  std::vector<ServerState> servers_;
+  double current_cost_ = 0;
+  double total_violation_ = 0;
+};
+
+}  // namespace kairos::core
+
+#endif  // KAIROS_CORE_EVALUATOR_H_

@@ -1,0 +1,345 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kairos::core {
+
+namespace {
+
+/// Flattened per-slot demand series used by the packers.
+struct SlotData {
+  std::vector<std::vector<double>> cpu, ram, rate;
+  std::vector<double> ws;
+  std::vector<int> workload;
+  int samples = 1;
+
+  explicit SlotData(const ConsolidationProblem& p) {
+    size_t n = SIZE_MAX;
+    for (const auto& w : p.workloads) {
+      n = std::min({n, w.cpu_cores.size(), w.ram_bytes.size(),
+                    w.update_rows_per_sec.size()});
+    }
+    if (n == SIZE_MAX || n == 0) n = 1;
+    samples = static_cast<int>(n);
+    for (int wi = 0; wi < static_cast<int>(p.workloads.size()); ++wi) {
+      const auto& w = p.workloads[wi];
+      std::vector<double> c(n), r(n), u(n);
+      for (size_t t = 0; t < n; ++t) {
+        c[t] = std::max(0.0, w.cpu_cores.at(t) - p.per_instance_cpu_overhead_cores);
+        r[t] = w.ram_bytes.at(t);
+        u[t] = w.update_rows_per_sec.at(t);
+      }
+      for (int rep = 0; rep < w.replicas; ++rep) {
+        cpu.push_back(c);
+        ram.push_back(r);
+        rate.push_back(u);
+        ws.push_back(w.working_set_bytes);
+        workload.push_back(wi);
+      }
+    }
+  }
+  int num_slots() const { return static_cast<int>(ws.size()); }
+};
+
+/// Accumulated load of one open server during packing.
+struct Bin {
+  std::vector<double> cpu, ram, rate;
+  double ws = 0;
+  double mean_load = 0;  // for "most loaded" ordering
+  std::vector<int> slots;
+};
+
+double PeakOf(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace
+
+std::string ResourceName(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kRam:
+      return "ram";
+    case Resource::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource r,
+                                  int max_servers) {
+  GreedyResult result;
+  result.packed_by = r;
+  const SlotData data(problem);
+  const int num_slots = data.num_slots();
+  if (max_servers <= 0) max_servers = num_slots;
+  if (num_slots == 0) return result;
+
+  const double cpu_cap =
+      problem.target_machine.StandardCores() * problem.cpu_headroom;
+  const double ram_cap =
+      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom -
+      static_cast<double>(problem.instance_ram_overhead_bytes);
+  const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
+  if (r == Resource::kDisk && !has_disk) return result;  // cannot pack by disk
+
+  // Decreasing peak demand of the packed resource.
+  std::vector<int> order(num_slots);
+  std::iota(order.begin(), order.end(), 0);
+  auto peak = [&](int s) {
+    switch (r) {
+      case Resource::kCpu:
+        return PeakOf(data.cpu[s]);
+      case Resource::kRam:
+        return PeakOf(data.ram[s]);
+      case Resource::kDisk:
+        return PeakOf(data.rate[s]);
+    }
+    return 0.0;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return peak(a) > peak(b); });
+
+  std::vector<Bin> bins;
+  std::vector<int> assignment(num_slots, -1);
+
+  auto fits = [&](const Bin& bin, int s) {
+    switch (r) {
+      case Resource::kCpu: {
+        for (int t = 0; t < data.samples; ++t) {
+          if (bin.cpu[t] + data.cpu[s][t] + problem.per_instance_cpu_overhead_cores >
+              cpu_cap) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case Resource::kRam: {
+        for (int t = 0; t < data.samples; ++t) {
+          if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
+        }
+        return true;
+      }
+      case Resource::kDisk: {
+        const double cap = problem.disk_headroom *
+                           problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
+        for (int t = 0; t < data.samples; ++t) {
+          if (bin.rate[t] + data.rate[s][t] > cap) return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int s : order) {
+    // Most-loaded bin where it fits (and no replica of the same workload).
+    int best = -1;
+    double best_load = -1;
+    for (size_t b = 0; b < bins.size(); ++b) {
+      bool conflict = false;
+      for (int other : bins[b].slots) {
+        if (data.workload[other] == data.workload[s]) conflict = true;
+      }
+      if (conflict || !fits(bins[b], s)) continue;
+      if (bins[b].mean_load > best_load) {
+        best_load = bins[b].mean_load;
+        best = static_cast<int>(b);
+      }
+    }
+    if (best < 0) {
+      if (static_cast<int>(bins.size()) >= max_servers) {
+        return result;  // cannot pack within the server budget -> infeasible
+      }
+      bins.emplace_back();
+      bins.back().cpu.assign(data.samples, 0.0);
+      bins.back().ram.assign(data.samples, 0.0);
+      bins.back().rate.assign(data.samples, 0.0);
+      best = static_cast<int>(bins.size()) - 1;
+    }
+    Bin& bin = bins[best];
+    double sum = 0;
+    for (int t = 0; t < data.samples; ++t) {
+      bin.cpu[t] += data.cpu[s][t];
+      bin.ram[t] += data.ram[s][t];
+      bin.rate[t] += data.rate[s][t];
+      switch (r) {
+        case Resource::kCpu:
+          sum += bin.cpu[t];
+          break;
+        case Resource::kRam:
+          sum += bin.ram[t];
+          break;
+        case Resource::kDisk:
+          sum += bin.rate[t];
+          break;
+      }
+    }
+    bin.ws += data.ws[s];
+    bin.mean_load = sum / data.samples;
+    bin.slots.push_back(s);
+    assignment[s] = best;
+  }
+
+  result.assignment.server_of_slot = assignment;
+  result.servers_used = static_cast<int>(bins.size());
+  // Full feasibility check against every constraint.
+  Evaluator ev(problem, std::max(result.servers_used, 1));
+  ev.Load(assignment);
+  result.feasible = ev.IsFeasible();
+  return result;
+}
+
+GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers) {
+  GreedyResult best;
+  for (Resource r : {Resource::kCpu, Resource::kRam, Resource::kDisk}) {
+    GreedyResult g = GreedySingleResource(problem, r, max_servers);
+    if (!g.feasible) continue;
+    if (!best.feasible || g.servers_used < best.servers_used) best = g;
+  }
+  return best;
+}
+
+Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
+                               bool* feasible) {
+  const SlotData data(problem);
+  const int num_slots = data.num_slots();
+  Assignment out;
+  out.server_of_slot.assign(num_slots, 0);
+  if (num_slots == 0) {
+    if (feasible) *feasible = true;
+    return out;
+  }
+  if (max_servers <= 0) max_servers = num_slots;
+
+  const double cpu_cap =
+      problem.target_machine.StandardCores() * problem.cpu_headroom -
+      problem.per_instance_cpu_overhead_cores;
+  const double ram_cap =
+      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom -
+      static_cast<double>(problem.instance_ram_overhead_bytes);
+  const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
+
+  // Hardest-first: biggest normalized peak across resources.
+  std::vector<int> order(num_slots);
+  std::iota(order.begin(), order.end(), 0);
+  auto difficulty = [&](int s) {
+    double d = PeakOf(data.cpu[s]) / std::max(1e-9, cpu_cap);
+    d = std::max(d, PeakOf(data.ram[s]) / std::max(1e-9, ram_cap));
+    if (has_disk) {
+      const double cap = problem.disk_model->MaxSustainableRate(data.ws[s]);
+      if (cap > 0) d = std::max(d, PeakOf(data.rate[s]) / cap);
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return difficulty(a) > difficulty(b); });
+
+  std::vector<Bin> bins;
+  auto fits_all = [&](const Bin& bin, int s) {
+    for (int other : bin.slots) {
+      if (data.workload[other] == data.workload[s]) return false;
+    }
+    for (int t = 0; t < data.samples; ++t) {
+      if (bin.cpu[t] + data.cpu[s][t] > cpu_cap) return false;
+      if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
+    }
+    if (has_disk) {
+      const double cap = problem.disk_headroom *
+                         problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
+      for (int t = 0; t < data.samples; ++t) {
+        if (bin.rate[t] + data.rate[s][t] > cap) return false;
+      }
+    }
+    return true;
+  };
+
+  bool clean = true;
+  for (int s : order) {
+    int best = -1;
+    double best_load = -1;
+    for (size_t b = 0; b < bins.size(); ++b) {
+      if (!fits_all(bins[b], s)) continue;
+      if (bins[b].mean_load > best_load) {
+        best_load = bins[b].mean_load;
+        best = static_cast<int>(b);
+      }
+    }
+    if (best < 0) {
+      if (static_cast<int>(bins.size()) < max_servers) {
+        bins.emplace_back();
+        bins.back().cpu.assign(data.samples, 0.0);
+        bins.back().ram.assign(data.samples, 0.0);
+        bins.back().rate.assign(data.samples, 0.0);
+        best = static_cast<int>(bins.size()) - 1;
+      } else {
+        // Server budget exhausted: drop onto the least-loaded bin.
+        clean = false;
+        double least = 1e300;
+        for (size_t b = 0; b < bins.size(); ++b) {
+          if (bins[b].mean_load < least) {
+            least = bins[b].mean_load;
+            best = static_cast<int>(b);
+          }
+        }
+      }
+    }
+    Bin& bin = bins[best];
+    double sum = 0;
+    for (int t = 0; t < data.samples; ++t) {
+      bin.cpu[t] += data.cpu[s][t];
+      bin.ram[t] += data.ram[s][t];
+      bin.rate[t] += data.rate[s][t];
+      sum += bin.cpu[t] / std::max(1e-9, cpu_cap) + bin.ram[t] / std::max(1e-9, ram_cap);
+    }
+    bin.ws += data.ws[s];
+    bin.mean_load = sum / data.samples;
+    bin.slots.push_back(s);
+    out.server_of_slot[s] = best;
+  }
+  if (feasible) *feasible = clean;
+  return out;
+}
+
+int FractionalLowerBound(const ConsolidationProblem& problem) {
+  const SlotData data(problem);
+  const int num_slots = data.num_slots();
+  if (num_slots == 0) return 0;
+
+  // Aggregate demand over time.
+  std::vector<double> cpu(data.samples, 0.0), ram(data.samples, 0.0),
+      rate(data.samples, 0.0);
+  double ws = 0;
+  for (int s = 0; s < num_slots; ++s) {
+    for (int t = 0; t < data.samples; ++t) {
+      cpu[t] += data.cpu[s][t];
+      ram[t] += data.ram[s][t];
+      rate[t] += data.rate[s][t];
+    }
+    ws += data.ws[s];
+  }
+  const double cpu_cap =
+      problem.target_machine.StandardCores() * problem.cpu_headroom;
+  const double ram_cap =
+      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom;
+
+  int k = 1;
+  k = std::max(k, static_cast<int>(std::ceil(PeakOf(cpu) / cpu_cap)));
+  k = std::max(k, static_cast<int>(std::ceil(PeakOf(ram) / ram_cap)));
+  if (problem.disk_model != nullptr && problem.disk_model->valid()) {
+    const double peak_rate = PeakOf(rate);
+    while (k < num_slots) {
+      const double cap_per_server =
+          problem.disk_headroom *
+          problem.disk_model->MaxSustainableRate(ws / static_cast<double>(k));
+      if (peak_rate <= cap_per_server * static_cast<double>(k)) break;
+      ++k;
+    }
+  }
+  return k;
+}
+
+}  // namespace kairos::core

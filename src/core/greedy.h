@@ -1,0 +1,54 @@
+// Baseline packers and bounds (Sections 6 and 7.3):
+//  * single-resource greedy bin packing — the paper's comparison baseline:
+//    considers one resource, places each workload on the most-loaded server
+//    where it fits, discards solutions violating the other resources;
+//  * a multi-resource greedy used to seed the solver / upper-bound K;
+//  * the fractional idealized lower bound on the number of servers.
+#ifndef KAIROS_CORE_GREEDY_H_
+#define KAIROS_CORE_GREEDY_H_
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/problem.h"
+
+namespace kairos::core {
+
+/// The resource a single-resource packer considers.
+enum class Resource { kCpu, kRam, kDisk };
+
+/// Name for reports.
+std::string ResourceName(Resource r);
+
+/// Result of a greedy packing attempt.
+struct GreedyResult {
+  bool feasible = false;      ///< Satisfies ALL constraints (checked post hoc).
+  Assignment assignment;      ///< Valid packing by the packed resource only.
+  int servers_used = 0;
+  Resource packed_by = Resource::kCpu;
+};
+
+/// Packs considering only resource `r` (most-loaded-that-fits, decreasing
+/// peak order), then checks the full constraint set. `max_servers` bounds
+/// the packing (0 = one server per slot allowed).
+GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource r,
+                                  int max_servers = 0);
+
+/// The paper's greedy baseline: try each resource, return the feasible
+/// solution with the fewest servers (feasible=false if none).
+GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers = 0);
+
+/// Multi-resource greedy: places each slot on the most-loaded server that
+/// fits ALL resources; opens servers as needed up to `max_servers`, then
+/// falls back to the least-loaded server (possibly violating). Always
+/// returns a complete assignment; `*feasible` reports constraint cleanness.
+Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
+                               bool* feasible);
+
+/// Idealized fractional lower bound on the server count: workloads are
+/// divisible and resources independent.
+int FractionalLowerBound(const ConsolidationProblem& problem);
+
+}  // namespace kairos::core
+
+#endif  // KAIROS_CORE_GREEDY_H_

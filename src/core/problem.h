@@ -1,0 +1,76 @@
+// The consolidation problem (Section 5): workload profiles to be packed
+// onto target machines subject to time-varying CPU/RAM/disk constraints,
+// replication, anti-affinity, and pinning.
+#ifndef KAIROS_CORE_PROBLEM_H_
+#define KAIROS_CORE_PROBLEM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "model/disk_model.h"
+#include "monitor/profile.h"
+#include "sim/machine.h"
+
+namespace kairos::core {
+
+/// Inputs of one consolidation run.
+struct ConsolidationProblem {
+  /// Workloads to place. `replicas` and `pinned_server` inside each profile
+  /// are honoured.
+  std::vector<monitor::WorkloadProfile> workloads;
+
+  /// Target machine type (homogeneous; heterogeneous sources are already
+  /// normalized to standard cores in the profiles).
+  sim::MachineSpec target_machine = sim::MachineSpec::ConsolidationTarget();
+
+  /// Hard cap on servers the solver may use (defaults to one per workload
+  /// replica when 0).
+  int max_servers = 0;
+
+  /// Disk model for the target machine's configuration. May be null, in
+  /// which case the disk constraint is skipped.
+  const model::DiskModel* disk_model = nullptr;
+
+  /// Resource headroom: a server is only loaded to this fraction of its
+  /// capacity (the paper keeps a ~5-10% safety margin).
+  double cpu_headroom = 0.90;
+  double ram_headroom = 0.95;
+  double disk_headroom = 0.90;
+
+  /// Per-instance OS+DBMS background CPU included in each dedicated-server
+  /// profile; (n-1) copies are subtracted when n workloads co-locate.
+  double per_instance_cpu_overhead_cores = 0.04;
+
+  /// RAM overhead of the single consolidated DBMS instance per server.
+  uint64_t instance_ram_overhead_bytes = 254ULL * 1024 * 1024;  // DBMS+OS
+
+  /// Balance weights in the objective's linear combination of resources.
+  double cpu_weight = 1.0;
+  double ram_weight = 1.0;
+  double disk_weight = 1.0;
+
+  /// Pairs of workload indices that must not share a server (beyond the
+  /// automatic anti-affinity between replicas of one workload).
+  std::vector<std::pair<int, int>> anti_affinity;
+
+  /// Number of placement slots (sum of replica counts).
+  int TotalSlots() const {
+    int slots = 0;
+    for (const auto& w : workloads) slots += w.replicas;
+    return slots;
+  }
+};
+
+/// A placement: server index per slot (slots enumerate workloads' replicas
+/// in workload order).
+struct Assignment {
+  std::vector<int> server_of_slot;
+
+  /// Number of distinct servers used.
+  int ServersUsed() const;
+};
+
+}  // namespace kairos::core
+
+#endif  // KAIROS_CORE_PROBLEM_H_

@@ -1,0 +1,70 @@
+#include "db/flusher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kairos::db {
+
+Flusher::Flusher(const FlusherConfig& config) : config_(config) {}
+
+FlushBatch Flusher::SelectBatch(const BufferPool& pool, double tick_seconds,
+                                double disk_utilization, bool checkpoint,
+                                double seconds_to_checkpoint) {
+  FlushBatch batch;
+  const uint64_t dirty = pool.dirty_count();
+  if (dirty == 0) return batch;
+  const double dirty_d = static_cast<double>(dirty);
+
+  // Background trickle.
+  const double background = dirty_d * tick_seconds / config_.flush_interval_s;
+
+  // Fuzzy checkpoint pacing: drain the dirty set before the log fills.
+  // This is deadline work — if the device cannot sustain it, the DBMS must
+  // throttle transactions.
+  double deadline_target = 0.0;
+  if (std::isfinite(seconds_to_checkpoint)) {
+    const double deadline =
+        std::max(tick_seconds, seconds_to_checkpoint * config_.checkpoint_safety);
+    deadline_target = dirty_d * tick_seconds / deadline;
+  }
+
+  double target = std::max(background, deadline_target);
+
+  // Idle flushing at the configured I/O capacity.
+  if (disk_utilization < config_.idle_utilization_threshold) {
+    target = std::max(target, config_.idle_io_pages_per_sec * tick_seconds);
+  }
+
+  const bool over_watermark = pool.DirtyFraction() > config_.max_dirty_fraction;
+  if (checkpoint || over_watermark) {
+    target = dirty_d;
+    batch.mandatory = true;
+    batch.mandatory_fraction = 1.0;
+  } else if (target > 0) {
+    batch.mandatory_fraction = std::min(1.0, deadline_target / target);
+  }
+
+  int64_t count = std::min<int64_t>(static_cast<int64_t>(std::ceil(target)),
+                                    config_.max_pages_per_tick);
+  count = std::min<int64_t>(count, static_cast<int64_t>(dirty));
+  if (count <= 0) return batch;
+
+  // Elevator: continue the sweep from the cursor; stop at the end of the
+  // dirty set (the sweep wraps on the next tick).
+  const auto& dirty_set = pool.dirty_pages();
+  auto it = dirty_set.lower_bound(cursor_);
+  if (it == dirty_set.end()) it = dirty_set.begin();
+  batch.pages.reserve(static_cast<size_t>(count));
+  while (it != dirty_set.end() &&
+         static_cast<int64_t>(batch.pages.size()) < count) {
+    batch.pages.push_back(*it);
+    ++it;
+  }
+  cursor_ = it == dirty_set.end() ? 0 : *it;
+  if (!batch.pages.empty()) {
+    batch.span_pages = batch.pages.back() - batch.pages.front() + 1;
+  }
+  return batch;
+}
+
+}  // namespace kairos::db

@@ -1,0 +1,22 @@
+#include "db/server.h"
+
+namespace kairos::db {
+
+Server::Server(const sim::MachineSpec& machine, const DbmsConfig& config, uint64_t seed)
+    : machine_(machine), disk_(machine.disk) {
+  dbms_ = std::make_unique<Dbms>(config, &disk_, seed);
+}
+
+InstanceTickReport Server::Tick(double tick_seconds) {
+  dbms_->PrepareTick(tick_seconds);
+  const double disk_pressure =
+      dbms_->last_mandatory_disk_seconds() / tick_seconds;
+  const sim::Disk::TickStats disk_stats = disk_.EndTick(tick_seconds);
+  last_disk_utilization_ = disk_stats.utilization;
+  InstanceTickReport report =
+      dbms_->FinalizeTick(tick_seconds, machine_.StandardCores(), disk_pressure);
+  now_ += tick_seconds;
+  return report;
+}
+
+}  // namespace kairos::db

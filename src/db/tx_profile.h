@@ -1,0 +1,45 @@
+// Cost profile of one transaction class, and the page-access distribution
+// interface a workload supplies to the DBMS.
+#ifndef KAIROS_DB_TX_PROFILE_H_
+#define KAIROS_DB_TX_PROFILE_H_
+
+#include <cstdint>
+
+#include "db/page.h"
+#include "util/rng.h"
+
+namespace kairos::db {
+
+/// Average per-transaction costs for one transaction class.
+struct TxProfile {
+  double cpu_us = 200.0;               ///< Pure CPU work per transaction.
+  double read_rows = 10.0;             ///< Row reads per transaction.
+  double update_rows = 2.0;            ///< Rows modified per transaction.
+  double pages_per_read = 1.0;         ///< Distinct page touches per row read.
+  double pages_per_update = 1.0;       ///< Distinct page touches per row update.
+  double log_bytes_per_update = 180.0; ///< Redo bytes per modified row.
+  double base_latency_ms = 5.0;        ///< Client round-trips, lock waits, etc.
+  double commits_per_tx = 1.0;         ///< Commit records per transaction.
+};
+
+/// Maps row accesses to pages according to the workload's access skew.
+/// Implementations are provided by the workload generators.
+class PageSampler {
+ public:
+  virtual ~PageSampler() = default;
+  /// Page touched by a row read.
+  virtual PageId SampleRead(util::Rng& rng) = 0;
+  /// Page touched by a row update.
+  virtual PageId SampleUpdate(util::Rng& rng) = 0;
+};
+
+/// One tick's worth of offered transactions for one database.
+struct TxBatch {
+  int64_t transactions = 0;
+  TxProfile profile;
+  PageSampler* sampler = nullptr;
+};
+
+}  // namespace kairos::db
+
+#endif  // KAIROS_DB_TX_PROFILE_H_

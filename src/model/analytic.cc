@@ -1,0 +1,129 @@
+#include "model/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kairos::model {
+
+namespace {
+
+/// Steady-state write-back characteristics under fuzzy-checkpoint pacing:
+/// a dirty page lingers for T = min(flush_interval, safety * time for the
+/// redo log to fill), so updates spread over P pages coalesce into
+/// D = P (1 - exp(-u T / P)) / T distinct page writes per second.
+struct Steady {
+  double residence_s = 0;       ///< T: how long a page stays dirty.
+  double dirty_pages = 0;       ///< Steady-state dirty set size.
+  double flush_pages_per_sec = 0;  ///< D.
+};
+
+Steady SteadyState(const AnalyticConfig& c, double working_set_bytes,
+                   double rows_per_sec) {
+  Steady s;
+  const double pages =
+      std::max(1.0, working_set_bytes / static_cast<double>(c.page_bytes));
+  const double log_rate = std::max(1.0, rows_per_sec * c.log_bytes_per_row);
+  const double seconds_to_checkpoint =
+      static_cast<double>(c.log_file_bytes) / log_rate;
+  s.residence_s = std::max(
+      0.1, std::min(c.flush_interval_s, c.checkpoint_safety * seconds_to_checkpoint));
+  s.dirty_pages = pages * (1.0 - std::exp(-rows_per_sec * s.residence_s / pages));
+  s.flush_pages_per_sec = s.dirty_pages / s.residence_s;
+  return s;
+}
+
+}  // namespace
+
+double AnalyticWriteBytesPerSec(const AnalyticConfig& c, double working_set_bytes,
+                                double rows_per_sec) {
+  const Steady s = SteadyState(c, working_set_bytes, rows_per_sec);
+  return rows_per_sec * c.log_bytes_per_row +
+         s.flush_pages_per_sec * static_cast<double>(c.page_bytes);
+}
+
+double AnalyticDiskBusyFraction(const sim::DiskSpec& disk_spec,
+                                const AnalyticConfig& c, double working_set_bytes,
+                                double rows_per_sec) {
+  sim::Disk disk(disk_spec);
+  const Steady s = SteadyState(c, working_set_bytes, rows_per_sec);
+
+  // Log stream: sequential bytes plus group-commit fsyncs.
+  const double log_bytes = rows_per_sec * c.log_bytes_per_row;
+  const double commits = rows_per_sec * c.commits_per_row;
+  const double max_groups = 1000.0 / std::max(0.1, c.group_commit_window_ms);
+  const double fsyncs = std::min(commits, max_groups);
+  const double log_cost =
+      disk.SeqWriteCost(static_cast<uint64_t>(log_bytes), static_cast<int>(fsyncs));
+
+  // Elevator write-back: one second's batch of D consecutive dirty pages
+  // spans span_total / residence bytes of the data region.
+  const double span_total = working_set_bytes * c.span_factor;
+  const double span_per_sec = span_total / s.residence_s;
+  const double flush_cost = disk.SortedWriteCost(
+      static_cast<int64_t>(std::max(0.0, s.flush_pages_per_sec)), c.page_bytes,
+      static_cast<uint64_t>(std::max(span_per_sec,
+                                     s.flush_pages_per_sec *
+                                         static_cast<double>(c.page_bytes))));
+  return log_cost + flush_cost;
+}
+
+double AnalyticMaxRate(const sim::DiskSpec& disk, const AnalyticConfig& c,
+                       double working_set_bytes) {
+  double lo = 0.0, hi = 1.0;
+  while (AnalyticDiskBusyFraction(disk, c, working_set_bytes, hi) < 1.0 && hi < 1e9) {
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (AnalyticDiskBusyFraction(disk, c, working_set_bytes, mid) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<ProfilePoint> AnalyticProfile(const sim::DiskSpec& disk,
+                                          const AnalyticConfig& c,
+                                          const std::vector<double>& ws_grid,
+                                          const std::vector<double>& rate_grid) {
+  std::vector<ProfilePoint> points;
+  points.reserve(ws_grid.size() * (rate_grid.size() + 1));
+  for (double ws : ws_grid) {
+    const double max_rate = AnalyticMaxRate(disk, c, ws);
+    for (double rate : rate_grid) {
+      ProfilePoint p;
+      p.working_set_bytes = ws;
+      p.target_rows_per_sec = rate;
+      p.achieved_rows_per_sec = std::min(rate, max_rate);
+      p.write_bytes_per_sec = AnalyticWriteBytesPerSec(c, ws, p.achieved_rows_per_sec);
+      p.saturated = rate > max_rate;
+      points.push_back(p);
+    }
+    // The exact saturation point: achievable, and it anchors the frontier
+    // fit even when the sampled grid sits entirely above or below it.
+    ProfilePoint frontier;
+    frontier.working_set_bytes = ws;
+    frontier.target_rows_per_sec = max_rate;
+    frontier.achieved_rows_per_sec = max_rate;
+    frontier.write_bytes_per_sec = AnalyticWriteBytesPerSec(c, ws, max_rate);
+    frontier.saturated = false;
+    points.push_back(frontier);
+  }
+  return points;
+}
+
+DiskModel BuildAnalyticModel(const sim::DiskSpec& disk, const AnalyticConfig& c,
+                             double max_ws_bytes, double max_rate) {
+  std::vector<double> ws_grid, rate_grid;
+  for (int i = 1; i <= 6; ++i) {
+    ws_grid.push_back(max_ws_bytes * static_cast<double>(i) / 6.0);
+  }
+  for (int i = 1; i <= 8; ++i) {
+    rate_grid.push_back(max_rate * static_cast<double>(i) / 8.0);
+  }
+  return DiskModel::Fit(AnalyticProfile(disk, c, ws_grid, rate_grid));
+}
+
+}  // namespace kairos::model

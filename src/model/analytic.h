@@ -1,0 +1,57 @@
+// Closed-form disk profiling for working-set sizes too large to sweep with
+// the full DBMS simulator (e.g. the 96 GB consolidation targets of the
+// trace experiments). Evaluates the same steady-state mechanics the
+// simulator implements — log append with group commit, update coalescing on
+// dirty pages, sorted elevator write-back — analytically, then feeds the
+// points to DiskModel::Fit like any measured profile.
+#ifndef KAIROS_MODEL_ANALYTIC_H_
+#define KAIROS_MODEL_ANALYTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/disk_model.h"
+#include "sim/disk.h"
+
+namespace kairos::model {
+
+/// Workload constants mirrored from the simulator's defaults.
+struct AnalyticConfig {
+  uint64_t page_bytes = 16 * 1024;
+  double flush_interval_s = 60.0;       ///< Background trickle cycle time.
+  uint64_t log_file_bytes = 128ULL << 20;  ///< Redo capacity (pacing driver).
+  double checkpoint_safety = 0.8;       ///< Finish flushing early by this.
+  double log_bytes_per_row = 180.0;
+  double group_commit_window_ms = 5.0;
+  double commits_per_row = 0.1;         ///< Commits per updated row.
+  /// Data span factor: write-back spreads over ws * this many bytes.
+  double span_factor = 2.0;
+};
+
+/// Steady-state write throughput (bytes/sec) at one (ws, rate) point.
+double AnalyticWriteBytesPerSec(const AnalyticConfig& config, double working_set_bytes,
+                                double rows_per_sec);
+
+/// Device busy fraction at one point (>= 1 means unsustainable).
+double AnalyticDiskBusyFraction(const sim::DiskSpec& disk, const AnalyticConfig& config,
+                                double working_set_bytes, double rows_per_sec);
+
+/// Max sustainable update rate at a working set size (bisection on the
+/// busy fraction).
+double AnalyticMaxRate(const sim::DiskSpec& disk, const AnalyticConfig& config,
+                       double working_set_bytes);
+
+/// Produces ProfilePoints over a (ws, rate) grid, marking saturated points,
+/// ready for DiskModel::Fit.
+std::vector<ProfilePoint> AnalyticProfile(const sim::DiskSpec& disk,
+                                          const AnalyticConfig& config,
+                                          const std::vector<double>& ws_grid,
+                                          const std::vector<double>& rate_grid);
+
+/// Convenience: grid + fit for a consolidation target machine.
+DiskModel BuildAnalyticModel(const sim::DiskSpec& disk, const AnalyticConfig& config,
+                             double max_ws_bytes, double max_rate);
+
+}  // namespace kairos::model
+
+#endif  // KAIROS_MODEL_ANALYTIC_H_

@@ -1,0 +1,63 @@
+#include "model/estimator.h"
+
+#include <algorithm>
+
+namespace kairos::model {
+
+CombinedLoadEstimator::CombinedLoadEstimator(const DiskModel* disk_model,
+                                             double per_instance_cpu_overhead_cores,
+                                             uint64_t instance_ram_overhead_bytes)
+    : disk_model_(disk_model),
+      per_instance_cpu_overhead_cores_(per_instance_cpu_overhead_cores),
+      instance_ram_overhead_bytes_(instance_ram_overhead_bytes) {}
+
+CombinedPrediction CombinedLoadEstimator::Combine(
+    const std::vector<const monitor::WorkloadProfile*>& profiles) const {
+  CombinedPrediction out;
+  if (profiles.empty()) return out;
+
+  util::TimeSeries cpu, ram, rate;
+  for (const auto* p : profiles) {
+    cpu.AccumulateInPlace(p->cpu_cores);
+    ram.AccumulateInPlace(p->ram_bytes);
+    rate.AccumulateInPlace(p->update_rows_per_sec);
+    out.total_working_set_bytes += p->working_set_bytes;
+  }
+
+  // Remove the (N-1) duplicated per-instance overheads: each profile was
+  // measured on a dedicated server running its own OS + DBMS.
+  const double overhead_savings =
+      per_instance_cpu_overhead_cores_ * static_cast<double>(profiles.size() - 1);
+  out.cpu_cores = cpu.Map([overhead_savings](double v) {
+    return std::max(0.0, v - overhead_savings);
+  });
+
+  const double ram_overhead = static_cast<double>(instance_ram_overhead_bytes_);
+  out.ram_bytes = ram.Map([ram_overhead](double v) { return v + ram_overhead; });
+
+  if (disk_model_ != nullptr && disk_model_->valid()) {
+    const double ws = out.total_working_set_bytes;
+    const DiskModel* m = disk_model_;
+    out.disk_write_bytes_per_sec =
+        rate.Map([m, ws](double r) { return m->PredictWriteBytesPerSec(ws, r); });
+  } else {
+    util::TimeSeries os_write;
+    for (const auto* p : profiles) os_write.AccumulateInPlace(p->os_write_bytes_per_sec);
+    out.disk_write_bytes_per_sec = os_write;
+  }
+  return out;
+}
+
+CombinedPrediction CombinedLoadEstimator::NaiveSum(
+    const std::vector<const monitor::WorkloadProfile*>& profiles) {
+  CombinedPrediction out;
+  for (const auto* p : profiles) {
+    out.cpu_cores.AccumulateInPlace(p->cpu_cores);
+    out.ram_bytes.AccumulateInPlace(p->os_ram_bytes);
+    out.disk_write_bytes_per_sec.AccumulateInPlace(p->os_write_bytes_per_sec);
+    out.total_working_set_bytes += p->os_ram_bytes.Mean();
+  }
+  return out;
+}
+
+}  // namespace kairos::model

@@ -1,0 +1,127 @@
+#include "monitor/gauge.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "db/dbms.h"
+
+namespace kairos::monitor {
+
+BufferPoolGauge::BufferPoolGauge(const GaugeConfig& config) : config_(config) {}
+
+GaugeResult BufferPoolGauge::Run(workload::Driver* driver) {
+  GaugeResult result;
+  db::Dbms& dbms = driver->server()->dbms();
+  const uint64_t page_bytes = dbms.config().page_bytes;
+  const uint64_t pool_bytes = dbms.config().buffer_pool_bytes;
+  result.accessible_bytes = pool_bytes + dbms.config().os_file_cache_bytes;
+
+  // Every database that exists before the probe database is created is
+  // "user" load whose physical reads we watch (copy taken now, before
+  // CreateDatabase below).
+  std::vector<db::Database*> user_dbs = dbms.databases();
+
+  db::Database* gauge_db = dbms.CreateDatabase("__gauge__");
+  const uint64_t max_probe_pages =
+      static_cast<uint64_t>(config_.max_steal_fraction *
+                            static_cast<double>(result.accessible_bytes)) /
+      page_bytes;
+  db::Region* probe = gauge_db->CreateTable("probe", 0, max_probe_pages + 1);
+
+  auto take_user_reads = [&user_dbs]() {
+    int64_t reads = 0;
+    for (auto* d : user_dbs) reads += d->TakeWindow().physical_reads;
+    return reads;
+  };
+
+  // Baseline physical-read rate before stealing anything.
+  take_user_reads();  // clear
+  driver->Run(config_.read_window_seconds, config_.read_window_seconds);
+  const double baseline = static_cast<double>(take_user_reads()) /
+                          config_.read_window_seconds;
+
+  // Sliding window of recent (reads, seconds) chunks.
+  std::deque<std::pair<double, double>> window;
+  double window_reads = 0, window_seconds = 0;
+
+  uint64_t step = config_.initial_step_pages;
+  uint64_t stolen_pages = 0;
+  uint64_t last_step = 0;
+  double elapsed = 0;
+
+  while (stolen_pages < max_probe_pages) {
+    // Grow the probe (appendRows in Figure 3).
+    const uint64_t grow = std::min(step, max_probe_pages - stolen_pages);
+    dbms.AppendPages(gauge_db, probe, grow, /*cpu_us_per_page=*/2.0,
+                     config_.insert_log_bytes_per_page);
+    stolen_pages += grow;
+    last_step = grow;
+
+    // Scan the probe to pin it in RAM (SELECT COUNT(*) in Figure 3), then
+    // let the user workload run for READ_WAIT seconds.
+    dbms.TouchSequential(gauge_db, *probe, 0, probe->pages, /*dirty=*/false,
+                         config_.scan_cpu_us_per_page);
+    driver->Run(config_.read_wait_seconds, config_.read_wait_seconds);
+    elapsed += config_.read_wait_seconds;
+
+    const double chunk_reads = static_cast<double>(take_user_reads());
+    window.emplace_back(chunk_reads, config_.read_wait_seconds);
+    window_reads += chunk_reads;
+    window_seconds += config_.read_wait_seconds;
+    while (window_seconds > config_.read_window_seconds && window.size() > 1) {
+      window_reads -= window.front().first;
+      window_seconds -= window.front().second;
+      window.pop_front();
+    }
+    const double rate = window_reads / window_seconds;
+
+    GaugePoint point;
+    point.stolen_fraction = static_cast<double>(stolen_pages * page_bytes) /
+                            static_cast<double>(pool_bytes);
+    point.reads_per_sec = rate;
+    point.probe_growth_bytes_per_sec =
+        static_cast<double>(grow * page_bytes) / config_.read_wait_seconds;
+    result.curve.push_back(point);
+
+    if (rate > baseline + config_.stop_threshold_pages_per_sec) {
+      // Knee found: useful pages are being displaced. Back off the last
+      // step when reporting how much was safely stolen.
+      stolen_pages -= last_step;
+      break;
+    }
+    if (rate > baseline + config_.slow_threshold_pages_per_sec) {
+      step = std::max<uint64_t>(
+          config_.min_step_pages,
+          static_cast<uint64_t>(static_cast<double>(step) * config_.backoff_factor));
+    } else {
+      step = std::min<uint64_t>(
+          config_.max_step_pages,
+          static_cast<uint64_t>(static_cast<double>(step) * config_.accelerate_factor));
+    }
+  }
+
+  result.stolen_bytes = stolen_pages * page_bytes;
+  result.working_set_bytes = result.accessible_bytes - result.stolen_bytes;
+  result.duration_s = elapsed;
+  result.avg_growth_bytes_per_sec =
+      elapsed > 0 ? static_cast<double>(result.stolen_bytes) / elapsed : 0;
+
+  // Tear down: truncate the probe (dropped data needs no write-back) and
+  // let the user workload re-fault whatever the knee overshoot evicted, so
+  // callers resume monitoring a steady-state system.
+  dbms.TruncateTable(gauge_db, probe);
+  const uint64_t dirty_floor = dbms.buffer_pool().capacity() / 20;
+  double settled = 0;
+  while (settled < config_.settle_timeout_seconds) {
+    driver->Run(2.0, 2.0);
+    settled += 2.0;
+    const double reads = static_cast<double>(take_user_reads()) / 2.0;
+    if (reads <= baseline + config_.slow_threshold_pages_per_sec &&
+        dbms.buffer_pool().dirty_count() <= dirty_floor) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace kairos::monitor

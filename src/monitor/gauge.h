@@ -1,0 +1,85 @@
+// Buffer pool gauging (Section 3.1, Figure 3): measure a live database's
+// working set by growing a probe table inside the DBMS, keeping the probe
+// pages hot with periodic COUNT(*) scans, and watching physical reads. When
+// stolen buffer-pool space starts displacing useful pages, the user
+// workload's disk reads rise — that knee reveals the working set size.
+#ifndef KAIROS_MONITOR_GAUGE_H_
+#define KAIROS_MONITOR_GAUGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace kairos::monitor {
+
+/// Tuning of the probing procedure.
+struct GaugeConfig {
+  /// Seconds between probe-table scans (READ_WAIT_SECONDS in Figure 3:
+  /// 1-10 s keeps the probe resident with < 5% CPU overhead).
+  double read_wait_seconds = 2.0;
+  /// Initial probe growth per step, in pages.
+  uint64_t initial_step_pages = 64;
+  /// Bounds on the adaptive step size. The max bounds the knee overshoot
+  /// (and therefore the working-set underestimate) to 32 MB of 16 KB pages.
+  uint64_t min_step_pages = 16;
+  uint64_t max_step_pages = 2048;
+  /// Multiplicative step adaptation: grow when reads are flat, shrink when
+  /// they rise.
+  double accelerate_factor = 1.5;
+  double backoff_factor = 0.5;
+  /// A reads/sec increase beyond baseline + this many pages/sec is "small
+  /// but real" -> slow down.
+  double slow_threshold_pages_per_sec = 8.0;
+  /// Sustained increase beyond baseline + this -> stop, we found the knee.
+  double stop_threshold_pages_per_sec = 40.0;
+  /// Never steal more than this fraction of DBMS-accessible memory.
+  double max_steal_fraction = 0.97;
+  /// Averaging window for the physical-read rate (paper default 10 s).
+  double read_window_seconds = 10.0;
+  /// CPU cost of scanning one probe page (cheap COUNT(*) on unindexed data).
+  double scan_cpu_us_per_page = 0.5;
+  /// Log bytes per appended probe page (few large tuples sized to the page).
+  uint64_t insert_log_bytes_per_page = 64;
+  /// After probing, keep the user workload running until the probe's
+  /// write-back debt has drained (or this many seconds elapse), so the
+  /// instance returns to steady state before monitoring resumes.
+  double settle_timeout_seconds = 240.0;
+};
+
+/// One measurement point of the gauging curve (Figure 2).
+struct GaugePoint {
+  double stolen_fraction = 0;       ///< Probe size / buffer pool size.
+  double reads_per_sec = 0;         ///< User physical reads per second.
+  double probe_growth_bytes_per_sec = 0;  ///< Adaptive growth rate.
+};
+
+/// Result of one gauging run.
+struct GaugeResult {
+  uint64_t working_set_bytes = 0;   ///< Estimated application working set.
+  uint64_t stolen_bytes = 0;        ///< Probe size when the knee was hit.
+  uint64_t accessible_bytes = 0;    ///< Buffer pool (+ OS cache) gauged.
+  double duration_s = 0;            ///< Simulated gauging time.
+  double avg_growth_bytes_per_sec = 0;
+  std::vector<GaugePoint> curve;    ///< Reads-vs-stolen curve (Figure 2).
+};
+
+/// Runs the probing procedure against the (single) DBMS instance driven by
+/// `driver` while its user workloads keep running.
+class BufferPoolGauge {
+ public:
+  explicit BufferPoolGauge(const GaugeConfig& config);
+
+  /// Gauges the instance hosting `driver`'s workloads. The probe table is
+  /// created in its own tenant database on the same instance (sharing the
+  /// buffer pool, as in the paper).
+  GaugeResult Run(workload::Driver* driver);
+
+ private:
+  GaugeConfig config_;
+};
+
+}  // namespace kairos::monitor
+
+#endif  // KAIROS_MONITOR_GAUGE_H_

@@ -1,0 +1,56 @@
+// WorkloadProfile: the resource time series describing one workload, as
+// produced by the resource monitor (or imported from historical rrdtool
+// statistics). This is the input record of the consolidation engine.
+#ifndef KAIROS_MONITOR_PROFILE_H_
+#define KAIROS_MONITOR_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/timeseries.h"
+
+namespace kairos::monitor {
+
+/// Per-workload resource utilization over time, normalized to standard
+/// cores and bytes.
+struct WorkloadProfile {
+  std::string name;
+
+  /// CPU used, in standard cores, including the per-instance OS+DBMS
+  /// overhead of the dedicated source server (the combined-load estimator
+  /// removes the duplicated overhead when co-locating).
+  util::TimeSeries cpu_cores;
+
+  /// RAM the workload actually needs (buffer pool gauging result, or
+  /// scaled-down historical allocation when gauging was not possible).
+  util::TimeSeries ram_bytes;
+
+  /// Row-modification rate (updates+inserts+deletes), the disk model's
+  /// load input.
+  util::TimeSeries update_rows_per_sec;
+
+  /// Working set size, the disk model's size input.
+  double working_set_bytes = 0;
+
+  /// --- Raw OS-reported statistics, kept for the naive-baseline
+  /// comparisons of Figure 6 ---
+  /// Allocated (RSS) memory as the OS reports it (overestimate).
+  util::TimeSeries os_ram_bytes;
+  /// Physical write throughput as iostat reports it on the dedicated
+  /// server, including idle-time flushing (overestimate of requirement).
+  util::TimeSeries os_write_bytes_per_sec;
+
+  /// Number of replicas to place (each on a distinct server).
+  int replicas = 1;
+  /// If >= 0, this workload must be placed on that server index.
+  int pinned_server = -1;
+
+  /// Peak values (conveniences over the series).
+  double PeakCpuCores() const { return cpu_cores.Max(); }
+  double PeakRamBytes() const { return ram_bytes.Max(); }
+  double PeakUpdateRate() const { return update_rows_per_sec.Max(); }
+};
+
+}  // namespace kairos::monitor
+
+#endif  // KAIROS_MONITOR_PROFILE_H_

@@ -1,0 +1,81 @@
+#include "monitor/resource_monitor.h"
+
+#include <cmath>
+
+namespace kairos::monitor {
+
+ResourceMonitor::ResourceMonitor(const MonitorConfig& config) : config_(config) {}
+
+std::vector<WorkloadProfile> ResourceMonitor::Collect(
+    workload::Driver* driver, double seconds,
+    const std::vector<workload::Workload*>& workloads,
+    const std::map<std::string, uint64_t>& gauged_ws_bytes) {
+  const double interval = config_.sample_interval_s;
+  const int samples = std::max(1, static_cast<int>(std::llround(seconds / interval)));
+  const size_t n = workloads.size();
+
+  std::vector<std::vector<double>> cpu(n), ram(n), upd(n), os_ram(n), os_write(n);
+  // Clear any counters accumulated before monitoring started.
+  for (auto* w : workloads) w->database()->TakeWindow();
+
+  db::Dbms& dbms = driver->server()->dbms();
+  const double base_share =
+      dbms.config().base_cpu_cores / static_cast<double>(std::max<size_t>(1, n));
+
+  for (int s = 0; s < samples; ++s) {
+    const workload::RunResult res = driver->Run(interval, interval);
+    // Instance-level OS statistics for this window.
+    const double inst_write_bps =
+        res.server.write_mbps.empty() ? 0.0 : res.server.write_mbps.at(0) * 1e6;
+    const uint64_t rss = dbms.RssBytes() + dbms.FileCacheBytes();
+
+    // Split instance write bytes across databases in proportion to their
+    // log production (only matters when co-monitoring several workloads;
+    // dedicated-server profiling has one workload that gets everything).
+    std::vector<db::DbCounters> windows(n);
+    double total_log = 0;
+    for (size_t i = 0; i < n; ++i) {
+      windows[i] = workloads[i]->database()->TakeWindow();
+      total_log += static_cast<double>(windows[i].log_bytes);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const db::DbCounters& w = windows[i];
+      cpu[i].push_back(w.cpu_seconds / interval + base_share);
+      upd[i].push_back(static_cast<double>(w.update_rows) / interval);
+      const double write_share =
+          total_log > 0 ? static_cast<double>(w.log_bytes) / total_log
+                        : 1.0 / static_cast<double>(n);
+      os_write[i].push_back(inst_write_bps * write_share);
+      os_ram[i].push_back(static_cast<double>(rss) / static_cast<double>(n));
+    }
+  }
+
+  std::vector<WorkloadProfile> profiles;
+  profiles.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    WorkloadProfile p;
+    p.name = workloads[i]->name();
+    p.cpu_cores = util::TimeSeries(interval, std::move(cpu[i]));
+    p.update_rows_per_sec = util::TimeSeries(interval, std::move(upd[i]));
+    p.os_ram_bytes = util::TimeSeries(interval, std::move(os_ram[i]));
+    p.os_write_bytes_per_sec = util::TimeSeries(interval, std::move(os_write[i]));
+
+    uint64_t required_ram = 0;
+    if (config_.use_gauged_ram) {
+      auto it = gauged_ws_bytes.find(p.name);
+      required_ram =
+          it != gauged_ws_bytes.end() ? it->second : workloads[i]->WorkingSetBytes();
+    } else {
+      required_ram = static_cast<uint64_t>(config_.ram_scaling *
+                                           p.os_ram_bytes.Mean());
+    }
+    p.working_set_bytes = static_cast<double>(required_ram);
+    p.ram_bytes =
+        util::TimeSeries::Constant(interval, p.cpu_cores.size(),
+                                   static_cast<double>(required_ram));
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace kairos::monitor

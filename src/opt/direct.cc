@@ -1,0 +1,176 @@
+#include "opt/direct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace kairos::opt {
+
+namespace {
+
+/// One hyperrectangle: its center, value, and per-dimension trisection
+/// depth (side length in dim i is 3^-levels[i]).
+struct Rect {
+  std::vector<double> center;
+  std::vector<uint16_t> levels;
+  double f = 0;
+  double diameter = 0;
+};
+
+double Diameter(const std::vector<uint16_t>& levels) {
+  double s = 0;
+  for (uint16_t l : levels) {
+    const double side = std::pow(3.0, -static_cast<double>(l));
+    s += side * side;
+  }
+  return 0.5 * std::sqrt(s);
+}
+
+}  // namespace
+
+DirectResult DirectOptimizer::Minimize(const Objective& f, int dims,
+                                       const DirectOptions& options) const {
+  DirectResult result;
+  if (dims <= 0) return result;
+
+  std::vector<Rect> rects;
+  Rect root;
+  root.center.assign(dims, 0.5);
+  root.levels.assign(dims, 0);
+  root.f = f(root.center);
+  root.diameter = Diameter(root.levels);
+  result.evaluations = 1;
+  result.x = root.center;
+  result.fx = root.f;
+  rects.push_back(std::move(root));
+
+  auto consider = [&](const std::vector<double>& x, double fx) {
+    if (fx < result.fx) {
+      result.fx = fx;
+      result.x = x;
+    }
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (result.evaluations >= options.max_evaluations) break;
+    if (result.fx <= options.target_value) {
+      result.hit_target = true;
+      break;
+    }
+    result.iterations = iter + 1;
+
+    // Group rectangles by diameter; keep the best rect per group.
+    std::map<double, size_t> best_per_diameter;  // diameter -> index
+    for (size_t i = 0; i < rects.size(); ++i) {
+      auto [it, inserted] = best_per_diameter.try_emplace(rects[i].diameter, i);
+      if (!inserted && rects[i].f < rects[it->second].f) it->second = i;
+    }
+
+    // Candidate (d, fmin) points in ascending diameter order.
+    std::vector<std::pair<double, size_t>> groups(best_per_diameter.begin(),
+                                                  best_per_diameter.end());
+
+    // Potentially-optimal selection (Jones' two conditions).
+    std::vector<size_t> selected;
+    const double fbest = result.fx;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const double dj = groups[g].first;
+      const double fj = rects[groups[g].second].f;
+      double k_lo = 0.0;
+      double k_hi = std::numeric_limits<double>::infinity();
+      bool dominated = false;
+      for (size_t h = 0; h < groups.size(); ++h) {
+        if (h == g) continue;
+        const double di = groups[h].first;
+        const double fi = rects[groups[h].second].f;
+        if (di < dj) {
+          k_lo = std::max(k_lo, (fj - fi) / (dj - di));
+        } else if (di > dj) {
+          k_hi = std::min(k_hi, (fi - fj) / (di - dj));
+        } else if (fi < fj) {
+          dominated = true;
+        }
+      }
+      if (dominated || k_lo > k_hi) continue;
+      // Nontrivial improvement condition with the most favorable K.
+      const double k = std::min(k_hi, 1e300);
+      const double threshold =
+          fbest - options.epsilon * std::max(std::fabs(fbest), 1e-12);
+      if (std::isfinite(k)) {
+        if (fj - k * dj > threshold) continue;
+      }
+      selected.push_back(groups[g].second);
+    }
+    if (selected.empty()) {
+      // Numerical corner: always divide the largest rectangle.
+      selected.push_back(groups.back().second);
+    }
+
+    // Divide each selected rectangle along its longest dimensions.
+    for (size_t idx : selected) {
+      if (result.evaluations >= options.max_evaluations) break;
+      // Copy: rects will be appended to (iterator invalidation).
+      Rect parent = rects[idx];
+
+      uint16_t min_level = std::numeric_limits<uint16_t>::max();
+      for (uint16_t l : parent.levels) min_level = std::min(min_level, l);
+      std::vector<int> long_dims;
+      for (int d = 0; d < dims; ++d) {
+        if (parent.levels[d] == min_level) long_dims.push_back(d);
+      }
+      const double delta = std::pow(3.0, -static_cast<double>(min_level) - 1.0);
+
+      // Sample c +/- delta e_d for each long dimension.
+      struct Probe {
+        int dim;
+        double f_plus, f_minus, w;
+        std::vector<double> x_plus, x_minus;
+      };
+      std::vector<Probe> probes;
+      for (int d : long_dims) {
+        if (result.evaluations + 2 > options.max_evaluations) break;
+        Probe p;
+        p.dim = d;
+        p.x_plus = parent.center;
+        p.x_plus[d] += delta;
+        p.x_minus = parent.center;
+        p.x_minus[d] -= delta;
+        p.f_plus = f(p.x_plus);
+        p.f_minus = f(p.x_minus);
+        result.evaluations += 2;
+        consider(p.x_plus, p.f_plus);
+        consider(p.x_minus, p.f_minus);
+        p.w = std::min(p.f_plus, p.f_minus);
+        probes.push_back(std::move(p));
+      }
+      if (probes.empty()) continue;
+      std::sort(probes.begin(), probes.end(),
+                [](const Probe& a, const Probe& b) { return a.w < b.w; });
+
+      // Trisect best-w dimension first (Jones' division order). Work on the
+      // local copy: push_back below may reallocate `rects`.
+      for (const Probe& p : probes) {
+        parent.levels[p.dim] += 1;
+        Rect plus;
+        plus.center = p.x_plus;
+        plus.levels = parent.levels;
+        plus.f = p.f_plus;
+        plus.diameter = Diameter(plus.levels);
+        Rect minus;
+        minus.center = p.x_minus;
+        minus.levels = parent.levels;
+        minus.f = p.f_minus;
+        minus.diameter = Diameter(minus.levels);
+        rects.push_back(std::move(plus));
+        rects.push_back(std::move(minus));
+      }
+      parent.diameter = Diameter(parent.levels);
+      rects[idx] = std::move(parent);
+    }
+  }
+  return result;
+}
+
+}  // namespace kairos::opt

@@ -1,0 +1,36 @@
+#include "os/os_stats.h"
+
+namespace kairos::os {
+
+void StatsCollector::RecordTick(double tick_seconds, double cpu_core_seconds,
+                                uint64_t rss_bytes, uint64_t active_bytes,
+                                uint64_t read_bytes, uint64_t write_bytes,
+                                uint64_t pages_read) {
+  window_seconds_ += tick_seconds;
+  cpu_core_seconds_ += cpu_core_seconds;
+  read_bytes_ += read_bytes;
+  write_bytes_ += write_bytes;
+  pages_read_ += pages_read;
+  last_rss_ = rss_bytes;
+  last_active_ = active_bytes;
+}
+
+ProcessStats StatsCollector::Snapshot() {
+  ProcessStats s;
+  if (window_seconds_ > 0.0) {
+    s.cpu_percent = 100.0 * cpu_core_seconds_ / window_seconds_;
+    s.read_bytes_per_sec = static_cast<double>(read_bytes_) / window_seconds_;
+    s.write_bytes_per_sec = static_cast<double>(write_bytes_) / window_seconds_;
+    s.page_reads_per_sec = static_cast<double>(pages_read_) / window_seconds_;
+  }
+  s.rss_bytes = last_rss_;
+  s.active_bytes = last_active_;
+  window_seconds_ = 0.0;
+  cpu_core_seconds_ = 0.0;
+  read_bytes_ = 0;
+  write_bytes_ = 0;
+  pages_read_ = 0;
+  return s;
+}
+
+}  // namespace kairos::os

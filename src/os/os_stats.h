@@ -1,0 +1,58 @@
+// OS-level statistics as exposed by /proc and iostat: what a monitoring
+// agent can see without cooperation from the DBMS. The key property the
+// paper exploits is that these counters OVERESTIMATE memory needs (allocated
+// vs actively-required RAM), motivating buffer pool gauging.
+#ifndef KAIROS_OS_OS_STATS_H_
+#define KAIROS_OS_OS_STATS_H_
+
+#include <cstdint>
+
+namespace kairos::os {
+
+/// A snapshot of OS-visible resource counters for one DBMS process, in the
+/// units Linux tools report.
+struct ProcessStats {
+  /// CPU utilization as a percentage of one core (Linux convention: 250
+  /// means 2.5 cores busy).
+  double cpu_percent = 0.0;
+  /// Resident set size: all memory the process has allocated and touched.
+  uint64_t rss_bytes = 0;
+  /// Pages the kernel marks "active" — for a warmed-up DBMS this is
+  /// essentially the whole buffer pool, regardless of the true working set.
+  uint64_t active_bytes = 0;
+  /// Physical read throughput (bytes/sec) over the sample window.
+  double read_bytes_per_sec = 0.0;
+  /// Physical write throughput (bytes/sec) over the sample window.
+  double write_bytes_per_sec = 0.0;
+  /// Physical page reads per second over the sample window.
+  double page_reads_per_sec = 0.0;
+};
+
+/// Accumulates raw usage during simulation ticks and produces rate-based
+/// snapshots over sampling windows, like reading /proc twice and diffing.
+class StatsCollector {
+ public:
+  /// Adds one tick's usage for the monitored process.
+  void RecordTick(double tick_seconds, double cpu_core_seconds, uint64_t rss_bytes,
+                  uint64_t active_bytes, uint64_t read_bytes, uint64_t write_bytes,
+                  uint64_t pages_read);
+
+  /// Produces rates since the previous Snapshot() call and resets the window.
+  ProcessStats Snapshot();
+
+  /// Seconds accumulated in the current window.
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  double window_seconds_ = 0.0;
+  double cpu_core_seconds_ = 0.0;
+  uint64_t read_bytes_ = 0;
+  uint64_t write_bytes_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t last_rss_ = 0;
+  uint64_t last_active_ = 0;
+};
+
+}  // namespace kairos::os
+
+#endif  // KAIROS_OS_OS_STATS_H_

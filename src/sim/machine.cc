@@ -1,0 +1,33 @@
+#include "sim/machine.h"
+
+namespace kairos::sim {
+
+MachineSpec MachineSpec::Server1() {
+  MachineSpec m;
+  m.name = "server1";
+  m.cores = 8;
+  m.clock_ghz = 2.66;
+  m.ram_bytes = 32 * util::kGiB;
+  return m;
+}
+
+MachineSpec MachineSpec::Server2() {
+  MachineSpec m;
+  m.name = "server2";
+  m.cores = 2;
+  m.clock_ghz = 3.2;
+  m.ram_bytes = 2 * util::kGiB;
+  return m;
+}
+
+MachineSpec MachineSpec::ConsolidationTarget() {
+  MachineSpec m;
+  m.name = "target12c96g";
+  m.cores = 12;
+  m.clock_ghz = kStandardCoreGhz;
+  m.ram_bytes = 96 * util::kGiB;
+  m.disk = DiskSpec::Raid10();
+  return m;
+}
+
+}  // namespace kairos::sim

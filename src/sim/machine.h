@@ -1,0 +1,44 @@
+// Hardware descriptions for simulated servers.
+#ifndef KAIROS_SIM_MACHINE_H_
+#define KAIROS_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/disk.h"
+#include "util/units.h"
+
+namespace kairos::sim {
+
+/// Clock speed of the "standard core" used to normalize CPU utilization
+/// across heterogeneous machines (Section 6 of the paper).
+inline constexpr double kStandardCoreGhz = 2.66;
+
+/// Static description of a physical (simulated) server.
+struct MachineSpec {
+  std::string name = "server";
+  int cores = 8;
+  double clock_ghz = kStandardCoreGhz;
+  uint64_t ram_bytes = 32 * util::kGiB;
+  DiskSpec disk;
+
+  /// CPU capacity expressed in standard cores: cores scaled by clock speed.
+  double StandardCores() const {
+    return static_cast<double>(cores) * clock_ghz / kStandardCoreGhz;
+  }
+
+  /// The paper's "Server 1": two quad-core Xeon 2.66 GHz, 32 GB RAM,
+  /// one 7200 RPM SATA disk.
+  static MachineSpec Server1();
+
+  /// The paper's "Server 2": two Xeon 3.2 GHz, 2 GB RAM, one SATA disk.
+  static MachineSpec Server2();
+
+  /// The paper's consolidation target: 12 cores, 96 GB RAM (the higher-end
+  /// class of machine used by two of the data providers).
+  static MachineSpec ConsolidationTarget();
+};
+
+}  // namespace kairos::sim
+
+#endif  // KAIROS_SIM_MACHINE_H_

@@ -1,0 +1,268 @@
+#include "trace/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace kairos::trace {
+
+namespace {
+
+constexpr double kDaySeconds = 86400.0;
+
+/// Smooth diurnal shape in [0, 1]: sin day cycle peaking at `peak_hour`,
+/// sharpened by exponent `sharpness`.
+double Diurnal(double t_seconds, double peak_hour, double sharpness) {
+  const double phase = 2.0 * M_PI * (t_seconds / kDaySeconds - peak_hour / 24.0);
+  const double s = 0.5 * (1.0 + std::cos(phase));
+  return std::pow(s, sharpness);
+}
+
+/// Per-server synthesis parameters.
+struct ServerParams {
+  double ram_required_gb = 8;
+  double ram_allocated_gb = 28;
+  double cpu_base = 0.1;        // cores
+  double cpu_amp = 0.3;         // cores, diurnal amplitude
+  double cpu_noise = 0.03;      // stddev, cores
+  double peak_hour = 20.0;
+  double sharpness = 2.0;
+  double burst_prob = 0.0;      // per-sample probability of a CPU burst
+  double burst_cores = 0.0;
+  double rows_base = 30;        // rows/sec
+  double rows_amp = 80;
+  bool snapshot_job = false;    // Second Life late-night snapshots
+  double snapshot_hour = 3.0;
+  double snapshot_cores = 2.2;
+  double snapshot_rows = 300;
+  int machine_cores = 8;
+};
+
+}  // namespace
+
+std::vector<DatasetKind> AllDatasets() {
+  return {DatasetKind::kInternal, DatasetKind::kWikia, DatasetKind::kWikipedia,
+          DatasetKind::kSecondLife};
+}
+
+std::string DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kInternal:
+      return "Internal";
+    case DatasetKind::kWikia:
+      return "Wikia";
+    case DatasetKind::kWikipedia:
+      return "Wikipedia";
+    case DatasetKind::kSecondLife:
+      return "SecondLife";
+  }
+  return "?";
+}
+
+int DatasetServerCount(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kInternal:
+      return 25;
+    case DatasetKind::kWikia:
+      return 34;
+    case DatasetKind::kWikipedia:
+      return 40;
+    case DatasetKind::kSecondLife:
+      return 97;
+  }
+  return 0;
+}
+
+DatasetGenerator::DatasetGenerator(uint64_t seed, const TraceConfig& config)
+    : seed_(seed), config_(config) {}
+
+ServerTrace DatasetGenerator::MakeServer(DatasetKind kind, int index,
+                                         util::Rng* rng) const {
+  ServerParams p;
+  switch (kind) {
+    case DatasetKind::kInternal: {
+      // Lab IT: mix of production (diurnal) and test/dev (idle + bursts).
+      const bool prod = rng->Bernoulli(0.6);
+      p.ram_required_gb = std::clamp(rng->Gaussian(9.5, 4.0), 2.0, 20.0);
+      p.ram_allocated_gb = std::clamp(p.ram_required_gb * rng->Uniform(2.0, 3.5),
+                                      8.0, 31.0);
+      if (prod) {
+        p.cpu_base = rng->Uniform(0.05, 0.12);
+        p.cpu_amp = rng->Uniform(0.1, 0.4);
+        p.rows_base = rng->Uniform(4, 16);
+        p.rows_amp = rng->Uniform(8, 24);
+      } else {
+        p.cpu_base = rng->Uniform(0.02, 0.05);
+        p.cpu_amp = rng->Uniform(0.0, 0.08);
+        p.burst_prob = 0.02;
+        p.burst_cores = rng->Uniform(0.5, 2.0);
+        p.rows_base = rng->Uniform(1, 6);
+        p.rows_amp = rng->Uniform(2, 10);
+      }
+      p.peak_hour = rng->Uniform(10.0, 22.0);
+      p.sharpness = rng->Uniform(1.5, 3.0);
+      break;
+    }
+    case DatasetKind::kWikia: {
+      p.ram_required_gb = std::clamp(rng->Gaussian(14.0, 3.0), 6.0, 22.0);
+      p.ram_allocated_gb = std::clamp(p.ram_required_gb * rng->Uniform(1.8, 2.6),
+                                      16.0, 47.0);
+      p.cpu_base = rng->Uniform(0.08, 0.15);
+      p.cpu_amp = rng->Uniform(0.4, 1.2);
+      p.peak_hour = rng->Gaussian(20.0, 0.7);
+      p.sharpness = rng->Uniform(1.8, 2.6);
+      p.rows_base = rng->Uniform(12, 32);
+      p.rows_amp = rng->Uniform(24, 56);
+      break;
+    }
+    case DatasetKind::kWikipedia: {
+      // A fifth of the cluster are heavily loaded masters.
+      const bool master = index % 5 == 0;
+      p.ram_allocated_gb = std::clamp(rng->Gaussian(21.5, 4.0), 12.0, 46.0);
+      p.ram_required_gb = 0.7 * p.ram_allocated_gb;  // paper's 30% scaling
+      p.cpu_base = rng->Uniform(0.1, 0.2);
+      p.cpu_amp = master ? rng->Uniform(1.2, 2.2) : rng->Uniform(0.4, 0.9);
+      p.peak_hour = rng->Gaussian(19.5, 0.4);  // strongly correlated cluster
+      p.sharpness = rng->Uniform(1.6, 2.2);
+      p.rows_base = master ? rng->Uniform(32, 56) : rng->Uniform(16, 36);
+      p.rows_amp = master ? rng->Uniform(48, 88) : rng->Uniform(20, 48);
+      break;
+    }
+    case DatasetKind::kSecondLife: {
+      p.ram_required_gb = std::clamp(rng->Gaussian(5.0, 1.5), 2.0, 9.0);
+      p.ram_allocated_gb = std::clamp(p.ram_required_gb * rng->Uniform(2.2, 3.4),
+                                      8.0, 31.0);
+      p.cpu_base = rng->Uniform(0.03, 0.08);
+      p.cpu_amp = rng->Uniform(0.08, 0.25);
+      p.peak_hour = rng->Gaussian(21.0, 1.0);
+      p.sharpness = rng->Uniform(1.5, 2.5);
+      p.rows_base = rng->Uniform(3, 12);
+      p.rows_amp = rng->Uniform(6, 16);
+      // 27 of the 97 machines run staggered late-night snapshot jobs.
+      if (index < 27) {
+        p.snapshot_job = true;
+        p.snapshot_hour = 2.0 + 2.0 * static_cast<double>(index) / 27.0;
+        p.snapshot_cores = rng->Uniform(1.8, 2.6);
+        p.snapshot_rows = rng->Uniform(90, 150);
+      }
+      break;
+    }
+  }
+
+  ServerTrace trace;
+  trace.name = DatasetName(kind) + "-" + std::to_string(index);
+  trace.dataset = kind;
+  trace.machine = sim::MachineSpec::Server1();
+  trace.machine.name = trace.name;
+  trace.machine.cores = p.machine_cores;
+  trace.has_disk_stats = rng->Bernoulli(0.3);
+
+  const int n = config_.samples;
+  const double dt = config_.interval_seconds;
+  std::vector<double> cpu(n), rows(n), ram_req(n), ram_alloc(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = dt * static_cast<double>(i);
+    const double d = Diurnal(t, p.peak_hour, p.sharpness);
+    double c = p.cpu_base + p.cpu_amp * d +
+               rng->Gaussian(0.0, p.cpu_noise + 0.05 * p.cpu_amp);
+    double r = p.rows_base + p.rows_amp * d +
+               rng->Gaussian(0.0, 0.1 * (p.rows_base + p.rows_amp));
+    if (p.burst_prob > 0 && rng->Bernoulli(p.burst_prob)) c += p.burst_cores;
+    if (p.snapshot_job) {
+      const double hour = std::fmod(t / 3600.0, 24.0);
+      if (hour >= p.snapshot_hour && hour < p.snapshot_hour + 0.75) {
+        c += p.snapshot_cores;
+        r += p.snapshot_rows;
+      }
+    }
+    cpu[i] = std::max(0.005, c);
+    rows[i] = std::max(0.0, r);
+    ram_req[i] = p.ram_required_gb * static_cast<double>(util::kGiB);
+    ram_alloc[i] = p.ram_allocated_gb * static_cast<double>(util::kGiB);
+  }
+  trace.cpu_cores = util::TimeSeries(dt, std::move(cpu));
+  trace.update_rows_per_sec = util::TimeSeries(dt, std::move(rows));
+  trace.ram_required_bytes = util::TimeSeries(dt, std::move(ram_req));
+  trace.ram_allocated_bytes = util::TimeSeries(dt, std::move(ram_alloc));
+  trace.working_set_bytes =
+      0.85 * p.ram_required_gb * static_cast<double>(util::kGiB);
+  return trace;
+}
+
+std::vector<ServerTrace> DatasetGenerator::Generate(DatasetKind kind) const {
+  util::Rng rng(seed_ ^ (0x51ED2701ULL + static_cast<uint64_t>(kind) * 7919));
+  std::vector<ServerTrace> servers;
+  const int count = DatasetServerCount(kind);
+  servers.reserve(count);
+  for (int i = 0; i < count; ++i) servers.push_back(MakeServer(kind, i, &rng));
+  return servers;
+}
+
+std::vector<ServerTrace> DatasetGenerator::GenerateAll() const {
+  std::vector<ServerTrace> all;
+  for (DatasetKind kind : AllDatasets()) {
+    auto part = Generate(kind);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+monitor::WorkloadProfile ToProfile(const ServerTrace& trace) {
+  monitor::WorkloadProfile p;
+  p.name = trace.name;
+  p.cpu_cores = trace.cpu_cores;
+  p.ram_bytes = trace.ram_required_bytes;
+  p.update_rows_per_sec = trace.update_rows_per_sec;
+  p.working_set_bytes = trace.working_set_bytes;
+  p.os_ram_bytes = trace.ram_allocated_bytes;
+  return p;
+}
+
+std::vector<monitor::WorkloadProfile> ToProfiles(
+    const std::vector<ServerTrace>& traces) {
+  std::vector<monitor::WorkloadProfile> profiles;
+  profiles.reserve(traces.size());
+  for (const auto& t : traces) profiles.push_back(ToProfile(t));
+  return profiles;
+}
+
+util::TimeSeries WeeklyAggregateCpu(DatasetKind kind, int weeks, uint64_t seed) {
+  util::Rng rng(seed ^ 0xF00DULL);
+  const int count = DatasetServerCount(kind);
+  const int samples_per_week = 7 * 24;  // hourly
+  const int n = samples_per_week * weeks;
+  const double dt = 3600.0;
+
+  // A stable weekly template (weekday factor x diurnal) shared by weeks,
+  // plus independent noise per week — the paper's premise that workloads
+  // repeat over time.
+  std::vector<double> weekday_factor(7);
+  for (int d = 0; d < 7; ++d) {
+    // Weekend dip; Second Life peaks on weekends instead.
+    const bool weekend = d >= 5;
+    weekday_factor[d] = kind == DatasetKind::kSecondLife ? (weekend ? 1.25 : 1.0)
+                                                         : (weekend ? 0.75 : 1.0);
+  }
+  const double peak_hour = kind == DatasetKind::kSecondLife ? 21.0 : 19.5;
+  const double base = 0.06 * count;   // cores
+  const double amp = 0.45 * count;    // cores
+
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = dt * static_cast<double>(i);
+    const int day = (i / 24) % 7;
+    double v = base + amp * weekday_factor[day] * Diurnal(t, peak_hour, 2.0);
+    if (kind == DatasetKind::kSecondLife) {
+      // The 27-machine snapshot pool: a nightly shelf of extra load.
+      const double hour = std::fmod(t / 3600.0, 24.0);
+      if (hour >= 2.0 && hour < 4.5) v += 0.3 * 27 * 2.2;
+    }
+    v += rng.Gaussian(0.0, 0.035 * (base + amp));
+    // Report as percent of one standard core, like the paper's rrd data.
+    values[i] = std::max(0.0, v) * 100.0 / static_cast<double>(count);
+  }
+  return util::TimeSeries(dt, std::move(values));
+}
+
+}  // namespace kairos::trace

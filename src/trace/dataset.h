@@ -1,0 +1,89 @@
+// Synthetic reproductions of the paper's four production-statistics
+// datasets (Section 7.1): MIT CSAIL "Internal" (25 servers), Wikia.com
+// (34), Wikipedia's Tampa cluster (40), and Second Life (97). The real
+// traces are private; the generator reproduces their published aggregate
+// characteristics:
+//   * mean CPU utilization below 4% of the source machines (the paper's
+//     headline over-provisioning number),
+//   * diurnal cycles with noise and occasional spikes,
+//   * Second Life's pool of 27 machines running late-night snapshot jobs,
+//   * rrdtool-style sampling: 24 hours at 5-minute windows,
+//   * detailed CPU/RAM everywhere, disk statistics only for a subset.
+#ifndef KAIROS_TRACE_DATASET_H_
+#define KAIROS_TRACE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/profile.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+#include "util/timeseries.h"
+
+namespace kairos::trace {
+
+/// Which organization's statistics to synthesize.
+enum class DatasetKind { kInternal, kWikia, kWikipedia, kSecondLife };
+
+/// All four kinds, in the paper's order.
+std::vector<DatasetKind> AllDatasets();
+
+/// Display name ("Internal", "Wikia", ...).
+std::string DatasetName(DatasetKind kind);
+
+/// Number of servers the paper reports for the dataset.
+int DatasetServerCount(DatasetKind kind);
+
+/// Monitoring statistics of one production database server.
+struct ServerTrace {
+  std::string name;
+  DatasetKind dataset = DatasetKind::kInternal;
+  sim::MachineSpec machine;                 ///< The source server hardware.
+  util::TimeSeries cpu_cores;               ///< Used CPU in standard cores.
+  util::TimeSeries ram_allocated_bytes;     ///< OS-reported allocation.
+  util::TimeSeries ram_required_bytes;      ///< Gauged / scaled requirement.
+  util::TimeSeries update_rows_per_sec;     ///< Row modification rate.
+  double working_set_bytes = 0;
+  bool has_disk_stats = false;  ///< Only a subset of machines report disk.
+};
+
+/// Sampling parameters (defaults: 24 h at 5-minute windows).
+struct TraceConfig {
+  int samples = 288;
+  double interval_seconds = 300.0;
+};
+
+/// Deterministic generator for the four datasets.
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(uint64_t seed, const TraceConfig& config = TraceConfig());
+
+  /// Generates one dataset's servers.
+  std::vector<ServerTrace> Generate(DatasetKind kind) const;
+
+  /// Generates all four datasets concatenated (the paper's "ALL", 196
+  /// servers).
+  std::vector<ServerTrace> GenerateAll() const;
+
+ private:
+  ServerTrace MakeServer(DatasetKind kind, int index, util::Rng* rng) const;
+
+  uint64_t seed_;
+  TraceConfig config_;
+};
+
+/// Converts a trace to the consolidation engine's input profile.
+monitor::WorkloadProfile ToProfile(const ServerTrace& trace);
+
+/// Converts a whole dataset.
+std::vector<monitor::WorkloadProfile> ToProfiles(const std::vector<ServerTrace>& traces);
+
+/// Aggregate hourly CPU load (percent of a standard core, summed over the
+/// dataset's servers) for `weeks` consecutive weeks — the Figure 13
+/// predictability data. Week-over-week shape repeats with fresh noise.
+util::TimeSeries WeeklyAggregateCpu(DatasetKind kind, int weeks, uint64_t seed);
+
+}  // namespace kairos::trace
+
+#endif  // KAIROS_TRACE_DATASET_H_

@@ -1,0 +1,98 @@
+#include "trace/rrd.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace kairos::trace {
+
+namespace {
+
+void WriteSeries(std::ostream& out, const std::string& tag,
+                 const util::TimeSeries& s) {
+  out << tag << ' ' << s.interval_seconds() << ' ' << s.size();
+  for (double v : s.values()) out << ' ' << v;
+  out << '\n';
+}
+
+bool ReadSeries(std::istream& in, const std::string& expected_tag,
+                util::TimeSeries* out) {
+  std::string tag;
+  double interval = 0;
+  size_t n = 0;
+  if (!(in >> tag >> interval >> n) || tag != expected_tag) return false;
+  if (interval <= 0 || n > 10'000'000) return false;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> values[i])) return false;
+  }
+  *out = util::TimeSeries(interval, std::move(values));
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeTraces(const std::vector<ServerTrace>& traces) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "kairos-rrd 1 " << traces.size() << '\n';
+  for (const auto& t : traces) {
+    out << "server " << t.name << ' ' << static_cast<int>(t.dataset) << ' '
+        << t.machine.cores << ' ' << t.machine.clock_ghz << ' '
+        << t.machine.ram_bytes << ' ' << t.working_set_bytes << ' '
+        << (t.has_disk_stats ? 1 : 0) << '\n';
+    WriteSeries(out, "cpu", t.cpu_cores);
+    WriteSeries(out, "ram_alloc", t.ram_allocated_bytes);
+    WriteSeries(out, "ram_req", t.ram_required_bytes);
+    WriteSeries(out, "rows", t.update_rows_per_sec);
+  }
+  return out.str();
+}
+
+bool ParseTraces(const std::string& text, std::vector<ServerTrace>* out) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != "kairos-rrd" || version != 1) {
+    return false;
+  }
+  std::vector<ServerTrace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServerTrace t;
+    std::string tag;
+    int dataset = 0, has_disk = 0;
+    if (!(in >> tag >> t.name >> dataset >> t.machine.cores >> t.machine.clock_ghz >>
+          t.machine.ram_bytes >> t.working_set_bytes >> has_disk) ||
+        tag != "server") {
+      return false;
+    }
+    t.dataset = static_cast<DatasetKind>(dataset);
+    t.has_disk_stats = has_disk != 0;
+    if (!ReadSeries(in, "cpu", &t.cpu_cores)) return false;
+    if (!ReadSeries(in, "ram_alloc", &t.ram_allocated_bytes)) return false;
+    if (!ReadSeries(in, "ram_req", &t.ram_required_bytes)) return false;
+    if (!ReadSeries(in, "rows", &t.update_rows_per_sec)) return false;
+    traces.push_back(std::move(t));
+  }
+  *out = std::move(traces);
+  return true;
+}
+
+bool SaveTraces(const std::string& path, const std::vector<ServerTrace>& traces) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << SerializeTraces(traces);
+  return static_cast<bool>(out);
+}
+
+bool LoadTraces(const std::string& path, std::vector<ServerTrace>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTraces(buffer.str(), out);
+}
+
+}  // namespace kairos::trace

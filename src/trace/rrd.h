@@ -1,0 +1,28 @@
+// Minimal rrdtool-style persistence: save and load ServerTrace collections
+// as a line-oriented text format, so real monitoring exports (Cacti /
+// Ganglia / Munin dumps) can be converted and fed to the engine.
+#ifndef KAIROS_TRACE_RRD_H_
+#define KAIROS_TRACE_RRD_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/dataset.h"
+
+namespace kairos::trace {
+
+/// Serializes traces to the text format (one header line plus one line per
+/// series).
+std::string SerializeTraces(const std::vector<ServerTrace>& traces);
+
+/// Parses traces serialized by SerializeTraces. Returns false on malformed
+/// input (partial results are discarded).
+bool ParseTraces(const std::string& text, std::vector<ServerTrace>* out);
+
+/// Convenience file wrappers. Return false on I/O or parse failure.
+bool SaveTraces(const std::string& path, const std::vector<ServerTrace>& traces);
+bool LoadTraces(const std::string& path, std::vector<ServerTrace>* out);
+
+}  // namespace kairos::trace
+
+#endif  // KAIROS_TRACE_RRD_H_

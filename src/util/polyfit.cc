@@ -1,0 +1,164 @@
+#include "util/polyfit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kairos::util {
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, size_t n,
+                       std::vector<double>* x) {
+  assert(a.size() == n * n && b.size() == n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a[ri * n + c] * (*x)[c];
+    (*x)[ri] = s / a[ri * n + ri];
+  }
+  return true;
+}
+
+namespace {
+
+// Weighted normal equations: (X^T W X) beta = X^T W y.
+bool WeightedLeastSquares(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<double>& w, size_t k,
+                          std::vector<double>* beta) {
+  const size_t n = y.size();
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    const double* row = &x[i * k];
+    for (size_t a = 0; a < k; ++a) {
+      xty[a] += wi * row[a] * y[i];
+      for (size_t b = a; b < k; ++b) xtx[a * k + b] += wi * row[a] * row[b];
+    }
+  }
+  for (size_t a = 0; a < k; ++a)
+    for (size_t b = 0; b < a; ++b) xtx[a * k + b] = xtx[b * k + a];
+  return SolveLinearSystem(std::move(xtx), std::move(xty), k, beta);
+}
+
+}  // namespace
+
+bool LeastSquares(const std::vector<double>& x, const std::vector<double>& y,
+                  size_t num_features, std::vector<double>* beta) {
+  return WeightedLeastSquares(x, y, {}, num_features, beta);
+}
+
+bool LeastAbsoluteResiduals(const std::vector<double>& x, const std::vector<double>& y,
+                            size_t num_features, std::vector<double>* beta,
+                            int iterations) {
+  if (!LeastSquares(x, y, num_features, beta)) return false;
+  const size_t n = y.size();
+  std::vector<double> w(n, 1.0);
+  for (int it = 0; it < iterations; ++it) {
+    // Weights 1/|r| turn the L2 objective into an L1 objective at the fixed
+    // point; epsilon keeps the weights bounded.
+    for (size_t i = 0; i < n; ++i) {
+      double pred = 0.0;
+      for (size_t a = 0; a < num_features; ++a) pred += x[i * num_features + a] * (*beta)[a];
+      const double r = std::fabs(y[i] - pred);
+      w[i] = 1.0 / std::max(r, 1e-6);
+    }
+    std::vector<double> next;
+    if (!WeightedLeastSquares(x, y, w, num_features, &next)) return true;  // keep last
+    *beta = std::move(next);
+  }
+  return true;
+}
+
+Poly2D::Poly2D(std::vector<double> coeff) : coeff_(std::move(coeff)) {
+  assert(coeff_.size() == 6);
+}
+
+double Poly2D::Eval(double u, double v) const {
+  return coeff_[0] + coeff_[1] * u + coeff_[2] * v + coeff_[3] * u * u +
+         coeff_[4] * u * v + coeff_[5] * v * v;
+}
+
+namespace {
+
+std::vector<double> DesignMatrix2D(const std::vector<double>& u,
+                                   const std::vector<double>& v) {
+  std::vector<double> x;
+  x.reserve(u.size() * 6);
+  for (size_t i = 0; i < u.size(); ++i) {
+    x.push_back(1.0);
+    x.push_back(u[i]);
+    x.push_back(v[i]);
+    x.push_back(u[i] * u[i]);
+    x.push_back(u[i] * v[i]);
+    x.push_back(v[i] * v[i]);
+  }
+  return x;
+}
+
+}  // namespace
+
+bool Poly2D::FitLeastSquares(const std::vector<double>& u, const std::vector<double>& v,
+                             const std::vector<double>& y, Poly2D* out) {
+  assert(u.size() == v.size() && u.size() == y.size());
+  std::vector<double> beta;
+  if (!LeastSquares(DesignMatrix2D(u, v), y, 6, &beta)) return false;
+  *out = Poly2D(std::move(beta));
+  return true;
+}
+
+bool Poly2D::FitLar(const std::vector<double>& u, const std::vector<double>& v,
+                    const std::vector<double>& y, Poly2D* out) {
+  assert(u.size() == v.size() && u.size() == y.size());
+  std::vector<double> beta;
+  if (!LeastAbsoluteResiduals(DesignMatrix2D(u, v), y, 6, &beta)) return false;
+  *out = Poly2D(std::move(beta));
+  return true;
+}
+
+Poly1D::Poly1D(std::vector<double> coeff) : coeff_(std::move(coeff)) {
+  assert(coeff_.size() == 3);
+}
+
+double Poly1D::Eval(double u) const {
+  return coeff_[0] + coeff_[1] * u + coeff_[2] * u * u;
+}
+
+bool Poly1D::Fit(const std::vector<double>& u, const std::vector<double>& y, Poly1D* out) {
+  assert(u.size() == y.size());
+  std::vector<double> x;
+  x.reserve(u.size() * 3);
+  for (double ui : u) {
+    x.push_back(1.0);
+    x.push_back(ui);
+    x.push_back(ui * ui);
+  }
+  std::vector<double> beta;
+  if (!LeastSquares(x, y, 3, &beta)) return false;
+  *out = Poly1D(std::move(beta));
+  return true;
+}
+
+}  // namespace kairos::util

@@ -1,0 +1,73 @@
+// Polynomial fitting: ordinary least squares and Least Absolute Residuals
+// (LAR, via iteratively reweighted least squares). Used by the disk model
+// (Section 4.1 of the paper fits a LAR second-order 2-D polynomial).
+#ifndef KAIROS_UTIL_POLYFIT_H_
+#define KAIROS_UTIL_POLYFIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kairos::util {
+
+/// Solves the dense linear system A x = b by Gaussian elimination with
+/// partial pivoting. `a` is row-major n x n. Returns false if singular.
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, size_t n,
+                       std::vector<double>* x);
+
+/// Fits `beta` minimizing ||X beta - y||_2, where `x` is row-major with
+/// `num_features` columns. Returns false on a singular design.
+bool LeastSquares(const std::vector<double>& x, const std::vector<double>& y,
+                  size_t num_features, std::vector<double>* beta);
+
+/// Fits `beta` approximately minimizing the sum of absolute residuals
+/// (Least Absolute Residuals) by IRLS with 1/|r| weights.
+bool LeastAbsoluteResiduals(const std::vector<double>& x, const std::vector<double>& y,
+                            size_t num_features, std::vector<double>* beta,
+                            int iterations = 20);
+
+/// Second-order polynomial in two variables:
+///   f(u, v) = c0 + c1 u + c2 v + c3 u^2 + c4 u v + c5 v^2.
+class Poly2D {
+ public:
+  Poly2D() : coeff_(6, 0.0) {}
+  /// Builds from 6 coefficients [c0..c5].
+  explicit Poly2D(std::vector<double> coeff);
+
+  /// Evaluates the polynomial.
+  double Eval(double u, double v) const;
+
+  /// The 6 coefficients.
+  const std::vector<double>& coefficients() const { return coeff_; }
+
+  /// Fits via ordinary least squares. Returns false on singular design.
+  static bool FitLeastSquares(const std::vector<double>& u, const std::vector<double>& v,
+                              const std::vector<double>& y, Poly2D* out);
+
+  /// Fits via Least Absolute Residuals (the paper's choice).
+  static bool FitLar(const std::vector<double>& u, const std::vector<double>& v,
+                     const std::vector<double>& y, Poly2D* out);
+
+ private:
+  std::vector<double> coeff_;
+};
+
+/// One-dimensional quadratic f(u) = c0 + c1 u + c2 u^2 (used for the disk
+/// saturation frontier in Figure 4).
+class Poly1D {
+ public:
+  Poly1D() : coeff_(3, 0.0) {}
+  explicit Poly1D(std::vector<double> coeff);
+
+  double Eval(double u) const;
+  const std::vector<double>& coefficients() const { return coeff_; }
+
+  /// Fits via ordinary least squares on (u, y) pairs.
+  static bool Fit(const std::vector<double>& u, const std::vector<double>& y, Poly1D* out);
+
+ private:
+  std::vector<double> coeff_;
+};
+
+}  // namespace kairos::util
+
+#endif  // KAIROS_UTIL_POLYFIT_H_

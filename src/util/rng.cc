@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace kairos::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return mean + stddev * gauss_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  has_gauss_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = Gaussian(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  // Knuth inversion.
+  const double l = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  // Rejection-inversion style approximation via the standard "zeta" trick is
+  // expensive to set up per-call; we use the bounded power-law inversion,
+  // which matches Zipf closely for the ranges used in workload generators.
+  if (n <= 1) return 0;
+  const double alpha = 1.0 - theta;  // CDF exponent, in (0, 1].
+  const double u = NextDouble();
+  const double x = std::pow(u, 1.0 / alpha) * static_cast<double>(n);
+  int64_t r = static_cast<int64_t>(x);
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace kairos::util

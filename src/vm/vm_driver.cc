@@ -1,0 +1,88 @@
+#include "vm/vm_driver.h"
+
+#include <cmath>
+
+namespace kairos::vm {
+
+VmDriver::VmDriver(MultiInstanceServer* server, uint64_t seed, double tick_seconds)
+    : server_(server), rng_(seed), tick_seconds_(tick_seconds) {
+  workloads_.resize(server->config().databases, nullptr);
+}
+
+void VmDriver::AttachWorkload(int i, workload::Workload* w) {
+  w->Attach(server_->database(i));
+  workloads_[i] = w;
+}
+
+void VmDriver::Warm() {
+  for (auto* w : workloads_) {
+    if (w != nullptr) w->Warm();
+  }
+  // Close one tick to absorb the bulk faults, then drop the one-off device
+  // demand (see workload::Driver::Warm).
+  server_->Tick(tick_seconds_);
+  server_->disk().Reset();
+  for (auto* w : workloads_) {
+    if (w != nullptr) w->database()->TakeWindow();
+  }
+}
+
+VmRunResult VmDriver::Run(double seconds, double sample_window_s) {
+  VmRunResult result;
+  const size_t n = workloads_.size();
+  std::vector<int64_t> window_completed_per_db(n, 0);
+  std::vector<int64_t> total_completed_per_db(n, 0);
+  double latency_weighted = 0;
+  int64_t latency_count = 0;
+
+  std::vector<double> total_series;
+  int64_t window_completed = 0;
+  double window_elapsed = 0;
+
+  const int ticks = static_cast<int>(std::llround(seconds / tick_seconds_));
+  for (int tick = 0; tick < ticks; ++tick) {
+    const double t = server_->now();
+    for (size_t i = 0; i < n; ++i) {
+      if (workloads_[i] == nullptr) continue;
+      db::TxBatch batch = workloads_[i]->MakeBatch(t, tick_seconds_, rng_);
+      server_->instance_of(static_cast<int>(i))
+          .Submit(workloads_[i]->database(), batch);
+    }
+    const MultiInstanceServer::TickReport report = server_->Tick(tick_seconds_);
+    for (const auto& inst : report.instances) {
+      for (const auto& per_db : inst.per_db) {
+        for (size_t i = 0; i < n; ++i) {
+          if (workloads_[i] != nullptr && workloads_[i]->database() == per_db.db) {
+            window_completed_per_db[i] += per_db.completed;
+            total_completed_per_db[i] += per_db.completed;
+            window_completed += per_db.completed;
+            latency_weighted += per_db.avg_latency_ms *
+                                static_cast<double>(per_db.completed);
+            latency_count += per_db.completed;
+            break;
+          }
+        }
+      }
+    }
+    window_elapsed += tick_seconds_;
+    if (window_elapsed + 1e-9 >= sample_window_s || tick == ticks - 1) {
+      total_series.push_back(static_cast<double>(window_completed) / window_elapsed);
+      window_completed = 0;
+      window_elapsed = 0;
+      std::fill(window_completed_per_db.begin(), window_completed_per_db.end(), 0);
+    }
+  }
+
+  result.total_tps = util::TimeSeries(sample_window_s, std::move(total_series));
+  result.mean_total_tps = result.total_tps.Mean();
+  result.per_db_mean_tps.resize(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    result.per_db_mean_tps[i] =
+        static_cast<double>(total_completed_per_db[i]) / seconds;
+  }
+  result.mean_latency_ms =
+      latency_count > 0 ? latency_weighted / static_cast<double>(latency_count) : 0.0;
+  return result;
+}
+
+}  // namespace kairos::vm

@@ -1,0 +1,48 @@
+// Experiment driver for the virtualization comparisons (Figures 10-11):
+// runs one workload per tenant database on a MultiInstanceServer and
+// records total and per-database throughput.
+#ifndef KAIROS_VM_VM_DRIVER_H_
+#define KAIROS_VM_VM_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/timeseries.h"
+#include "vm/multi_instance.h"
+#include "workload/workload.h"
+
+namespace kairos::vm {
+
+/// Results of one run.
+struct VmRunResult {
+  util::TimeSeries total_tps;             ///< Aggregate completed tx/sec.
+  std::vector<double> per_db_mean_tps;    ///< Mean per tenant.
+  double mean_total_tps = 0;
+  double mean_latency_ms = 0;
+};
+
+/// Drives one workload per tenant database.
+class VmDriver {
+ public:
+  VmDriver(MultiInstanceServer* server, uint64_t seed, double tick_seconds = 0.1);
+
+  /// Attaches `w` to tenant `i`'s database.
+  void AttachWorkload(int i, workload::Workload* w);
+
+  /// Pre-faults working sets (bounded by each instance's pool).
+  void Warm();
+
+  /// Runs for `seconds`, sampling every `sample_window_s`.
+  VmRunResult Run(double seconds, double sample_window_s = 1.0);
+
+ private:
+  MultiInstanceServer* server_;
+  util::Rng rng_;
+  double tick_seconds_;
+  std::vector<workload::Workload*> workloads_;  // index = tenant
+};
+
+}  // namespace kairos::vm
+
+#endif  // KAIROS_VM_VM_DRIVER_H_

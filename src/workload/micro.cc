@@ -1,0 +1,42 @@
+#include "workload/micro.h"
+
+#include "db/dbms.h"
+
+namespace kairos::workload {
+
+MicroWorkload::MicroWorkload(std::string name, MicroSpec spec)
+    : Workload(std::move(name)), spec_(std::move(spec)) {}
+
+void MicroWorkload::Attach(db::Database* database) {
+  database_ = database;
+  page_bytes_ = database->owner()->config().page_bytes;
+  const uint64_t data_pages = spec_.data_bytes / page_bytes_;
+  region_ = database->CreateTable("t", data_pages, data_pages * 2);
+  const uint64_t hot_pages = spec_.working_set_bytes / page_bytes_;
+  if (spec_.zipf_theta > 0.0) {
+    sampler_ = std::make_unique<ZipfSampler>(region_, hot_pages, spec_.zipf_theta);
+  } else {
+    sampler_ =
+        std::make_unique<HotSetSampler>(region_, hot_pages, spec_.cold_probability);
+  }
+}
+
+db::TxBatch MicroWorkload::MakeBatch(double t, double dt, util::Rng& rng) {
+  db::TxBatch batch;
+  batch.profile.cpu_us = spec_.cpu_us_per_tx;
+  batch.profile.read_rows = spec_.reads_per_tx;
+  batch.profile.update_rows = spec_.updates_per_tx;
+  batch.profile.log_bytes_per_update = spec_.log_bytes_per_update;
+  batch.profile.base_latency_ms = spec_.base_latency_ms;
+  batch.sampler = sampler_.get();
+  batch.transactions = rng.Poisson(spec_.pattern->RateAt(t) * dt);
+  return batch;
+}
+
+void MicroWorkload::Warm() {
+  const uint64_t hot_pages = spec_.working_set_bytes / page_bytes_;
+  database_->owner()->TouchSequential(database_, *region_, 0, hot_pages,
+                                      /*dirty=*/false, /*cpu_us_per_page=*/0.0);
+}
+
+}  // namespace kairos::workload

@@ -1,0 +1,54 @@
+// Fully parameterized synthetic micro-benchmark (Section 7.1): a single
+// table with a controllable working set, CPU-heavy selects (expensive
+// cryptographic functions in the paper), controllable update rate, and a
+// time-varying offered-rate pattern. Used to validate the resource models
+// (Figure 6), to build disk profiles (Figure 4), and for the
+// size-independence experiment (Figure 12a).
+#ifndef KAIROS_WORKLOAD_MICRO_H_
+#define KAIROS_WORKLOAD_MICRO_H_
+
+#include <memory>
+#include <string>
+
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace kairos::workload {
+
+/// All knobs of the synthetic workload.
+struct MicroSpec {
+  uint64_t data_bytes = 1ULL << 30;          ///< Total table size.
+  uint64_t working_set_bytes = 512ULL << 20; ///< Hot subset.
+  double reads_per_tx = 4.0;                 ///< Row reads per transaction.
+  double updates_per_tx = 2.0;               ///< Row updates per transaction.
+  double cpu_us_per_tx = 300.0;              ///< CPU-heavy selects.
+  double log_bytes_per_update = 200.0;
+  double base_latency_ms = 5.0;
+  double zipf_theta = 0.0;                   ///< 0 = uniform access.
+  double cold_probability = 0.0;             ///< Stray accesses to cold data.
+  std::shared_ptr<LoadPattern> pattern;      ///< Offered rate over time.
+};
+
+/// The synthetic micro workload.
+class MicroWorkload : public Workload {
+ public:
+  MicroWorkload(std::string name, MicroSpec spec);
+
+  void Attach(db::Database* database) override;
+  db::TxBatch MakeBatch(double t, double dt, util::Rng& rng) override;
+  uint64_t WorkingSetBytes() const override { return spec_.working_set_bytes; }
+  uint64_t DataSizeBytes() const override { return spec_.data_bytes; }
+  void Warm() override;
+
+  const MicroSpec& spec() const { return spec_; }
+
+ private:
+  MicroSpec spec_;
+  db::Region* region_ = nullptr;
+  std::unique_ptr<db::PageSampler> sampler_;
+  uint64_t page_bytes_ = db::kDefaultPageBytes;
+};
+
+}  // namespace kairos::workload
+
+#endif  // KAIROS_WORKLOAD_MICRO_H_

@@ -1,0 +1,41 @@
+#include "workload/patterns.h"
+
+#include <cmath>
+
+namespace kairos::workload {
+
+SinusoidPattern::SinusoidPattern(double mean, double amplitude, double period_s,
+                                 double phase)
+    : mean_(mean), amplitude_(amplitude), period_s_(period_s), phase_(phase) {}
+
+double SinusoidPattern::RateAt(double t) const {
+  const double v = mean_ + amplitude_ * std::sin(2.0 * M_PI * t / period_s_ + phase_);
+  return v < 0.0 ? 0.0 : v;
+}
+
+SawtoothPattern::SawtoothPattern(double low, double high, double period_s)
+    : low_(low), high_(high), period_s_(period_s) {}
+
+double SawtoothPattern::RateAt(double t) const {
+  const double frac = std::fmod(t, period_s_) / period_s_;
+  return low_ + (high_ - low_) * frac;
+}
+
+SquarePattern::SquarePattern(double low, double high, double period_s)
+    : low_(low), high_(high), period_s_(period_s) {}
+
+double SquarePattern::RateAt(double t) const {
+  const double frac = std::fmod(t, period_s_) / period_s_;
+  return frac < 0.5 ? low_ : high_;
+}
+
+BurstyPattern::BurstyPattern(double base, double burst, double period_s,
+                             double burst_fraction)
+    : base_(base), burst_(burst), period_s_(period_s), burst_fraction_(burst_fraction) {}
+
+double BurstyPattern::RateAt(double t) const {
+  const double frac = std::fmod(t, period_s_) / period_s_;
+  return frac < burst_fraction_ ? burst_ : base_;
+}
+
+}  // namespace kairos::workload

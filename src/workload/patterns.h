@@ -1,0 +1,70 @@
+// Time-varying request-rate patterns for the synthetic workloads of
+// Section 7.1 (sinusoidal, sawtooth, square, flat, bursty).
+#ifndef KAIROS_WORKLOAD_PATTERNS_H_
+#define KAIROS_WORKLOAD_PATTERNS_H_
+
+#include <memory>
+
+namespace kairos::workload {
+
+/// A deterministic offered-rate function of time.
+class LoadPattern {
+ public:
+  virtual ~LoadPattern() = default;
+  /// Offered rate (transactions/sec) at time `t` seconds.
+  virtual double RateAt(double t) const = 0;
+};
+
+/// Constant rate.
+class FlatPattern : public LoadPattern {
+ public:
+  explicit FlatPattern(double rate) : rate_(rate) {}
+  double RateAt(double) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// mean + amplitude * sin(2 pi t / period).
+class SinusoidPattern : public LoadPattern {
+ public:
+  SinusoidPattern(double mean, double amplitude, double period_s, double phase = 0.0);
+  double RateAt(double t) const override;
+
+ private:
+  double mean_, amplitude_, period_s_, phase_;
+};
+
+/// Linear ramp from low to high over each period, then reset.
+class SawtoothPattern : public LoadPattern {
+ public:
+  SawtoothPattern(double low, double high, double period_s);
+  double RateAt(double t) const override;
+
+ private:
+  double low_, high_, period_s_;
+};
+
+/// Alternates low/high each half period.
+class SquarePattern : public LoadPattern {
+ public:
+  SquarePattern(double low, double high, double period_s);
+  double RateAt(double t) const override;
+
+ private:
+  double low_, high_, period_s_;
+};
+
+/// Baseline rate with periodic short bursts.
+class BurstyPattern : public LoadPattern {
+ public:
+  BurstyPattern(double base, double burst, double period_s, double burst_fraction);
+  double RateAt(double t) const override;
+
+ private:
+  double base_, burst_, period_s_, burst_fraction_;
+};
+
+}  // namespace kairos::workload
+
+#endif  // KAIROS_WORKLOAD_PATTERNS_H_

@@ -1,0 +1,59 @@
+#include "workload/tpcc.h"
+
+#include "db/dbms.h"
+
+namespace kairos::workload {
+
+TpccWorkload::TpccWorkload(std::string name, int warehouses,
+                           std::shared_ptr<LoadPattern> pattern)
+    : Workload(std::move(name)), warehouses_(warehouses), pattern_(std::move(pattern)) {}
+
+db::TxProfile TpccWorkload::Profile() {
+  db::TxProfile p;
+  // Weighted mix of NewOrder/Payment/OrderStatus/Delivery/StockLevel.
+  p.cpu_us = 420.0;
+  p.read_rows = 22.0;
+  p.update_rows = 12.0;
+  p.pages_per_read = 1.0;
+  p.pages_per_update = 1.0;
+  p.log_bytes_per_update = 160.0;
+  p.base_latency_ms = 70.0;
+  p.commits_per_tx = 1.0;
+  return p;
+}
+
+void TpccWorkload::Attach(db::Database* database) {
+  database_ = database;
+  page_bytes_ = database->owner()->config().page_bytes;
+  const uint64_t data_pages =
+      static_cast<uint64_t>(warehouses_) * kDataBytesPerWarehouse / page_bytes_;
+  region_ = database->CreateTable("tpcc", data_pages, data_pages * 2);
+  const uint64_t hot_pages =
+      static_cast<uint64_t>(warehouses_) * kHotBytesPerWarehouse / page_bytes_;
+  // TPC-C access is skewed (district/stock hot rows dominate; old orders
+  // and rare items sit in the tail), so overflowing the buffer pool by a
+  // little costs a little — not a thrash cliff.
+  sampler_ = std::make_unique<ZipfSampler>(region_, hot_pages, 0.6);
+}
+
+db::TxBatch TpccWorkload::MakeBatch(double t, double dt, util::Rng& rng) {
+  db::TxBatch batch;
+  batch.profile = Profile();
+  batch.sampler = sampler_.get();
+  batch.transactions = rng.Poisson(pattern_->RateAt(t) * dt);
+  return batch;
+}
+
+uint64_t TpccWorkload::WorkingSetBytes() const {
+  return static_cast<uint64_t>(warehouses_) * kHotBytesPerWarehouse;
+}
+
+uint64_t TpccWorkload::DataSizeBytes() const {
+  return static_cast<uint64_t>(warehouses_) * kDataBytesPerWarehouse;
+}
+
+void TpccWorkload::Warm() {
+  WarmDescending(database_, *region_, WorkingSetBytes() / page_bytes_);
+}
+
+}  // namespace kairos::workload

@@ -1,0 +1,50 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "db/dbms.h"
+
+namespace kairos::workload {
+
+void WarmDescending(db::Database* database, const db::Region& region,
+                    uint64_t hot_pages) {
+  constexpr uint64_t kChunk = 4096;
+  db::Dbms* dbms = database->owner();
+  uint64_t remaining = std::min(hot_pages, region.pages);
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(kChunk, remaining);
+    remaining -= chunk;
+    dbms->TouchSequential(database, region, remaining, chunk, /*dirty=*/false,
+                          /*cpu_us_per_page=*/0.0);
+  }
+}
+
+HotSetSampler::HotSetSampler(const db::Region* region, uint64_t hot_pages,
+                             double cold_probability)
+    : region_(region),
+      hot_pages_(std::max<uint64_t>(1, hot_pages)),
+      cold_probability_(cold_probability) {}
+
+db::PageId HotSetSampler::Sample(util::Rng& rng) {
+  const uint64_t pages = std::max<uint64_t>(1, region_->pages);
+  const uint64_t hot = std::min(hot_pages_, pages);
+  if (cold_probability_ > 0.0 && rng.Bernoulli(cold_probability_)) {
+    return region_->start + static_cast<uint64_t>(rng.UniformInt(0, pages - 1));
+  }
+  return region_->start + static_cast<uint64_t>(rng.UniformInt(0, hot - 1));
+}
+
+db::PageId HotSetSampler::SampleRead(util::Rng& rng) { return Sample(rng); }
+db::PageId HotSetSampler::SampleUpdate(util::Rng& rng) { return Sample(rng); }
+
+ZipfSampler::ZipfSampler(const db::Region* region, uint64_t hot_pages, double theta)
+    : region_(region), hot_pages_(std::max<uint64_t>(1, hot_pages)), theta_(theta) {}
+
+db::PageId ZipfSampler::SampleRead(util::Rng& rng) {
+  const uint64_t hot = std::min(hot_pages_, std::max<uint64_t>(1, region_->pages));
+  return region_->start + static_cast<uint64_t>(rng.Zipf(hot, theta_));
+}
+
+db::PageId ZipfSampler::SampleUpdate(util::Rng& rng) { return SampleRead(rng); }
+
+}  // namespace kairos::workload

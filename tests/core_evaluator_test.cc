@@ -1,0 +1,188 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace kairos::core {
+namespace {
+
+monitor::WorkloadProfile MakeProfile(const std::string& name, double cpu_cores,
+                                     double ram_gb, double rows = 0,
+                                     int samples = 4) {
+  monitor::WorkloadProfile p;
+  p.name = name;
+  p.cpu_cores = util::TimeSeries::Constant(300, samples, cpu_cores);
+  p.ram_bytes = util::TimeSeries::Constant(300, samples,
+                                           ram_gb * static_cast<double>(util::kGiB));
+  p.update_rows_per_sec = util::TimeSeries::Constant(300, samples, rows);
+  p.working_set_bytes = ram_gb * 0.8 * static_cast<double>(util::kGiB);
+  return p;
+}
+
+ConsolidationProblem SmallProblem(int n, double cpu_each = 1.0, double ram_gb = 8.0) {
+  ConsolidationProblem prob;
+  for (int i = 0; i < n; ++i) {
+    prob.workloads.push_back(MakeProfile("w" + std::to_string(i), cpu_each, ram_gb));
+  }
+  return prob;
+}
+
+TEST(EvaluatorTest, FewerServersAlwaysCheaper) {
+  ConsolidationProblem prob = SmallProblem(4, 0.5, 4.0);
+  Evaluator ev(prob, 4);
+  // All on one server (fits easily) vs spread across four.
+  const double packed = ev.Evaluate({0, 0, 0, 0});
+  const double spread = ev.Evaluate({0, 1, 2, 3});
+  EXPECT_LT(packed, spread);
+}
+
+TEST(EvaluatorTest, BalancePreferredAtEqualServerCount) {
+  ConsolidationProblem prob = SmallProblem(4, 2.0, 8.0);
+  Evaluator ev(prob, 2);
+  const double balanced = ev.Evaluate({0, 0, 1, 1});
+  const double skewed = ev.Evaluate({0, 0, 0, 1});
+  EXPECT_LT(balanced, skewed);
+}
+
+TEST(EvaluatorTest, CpuViolationPenalized) {
+  // 12-core target: 8 workloads of 2 cores each = 16 cores on one server.
+  ConsolidationProblem prob = SmallProblem(8, 2.0, 1.0);
+  Evaluator ev(prob, 8);
+  std::vector<int> packed(8, 0);
+  std::vector<int> spread{0, 0, 0, 1, 1, 1, 0, 1};
+  EXPECT_GT(ev.Evaluate(packed), ev.Evaluate(spread));
+  ev.Load(packed);
+  EXPECT_FALSE(ev.IsFeasible());
+  ev.Load(spread);
+  EXPECT_TRUE(ev.IsFeasible());
+}
+
+TEST(EvaluatorTest, RamViolationPenalized) {
+  // 96 GB target: two 60 GB workloads cannot share.
+  ConsolidationProblem prob = SmallProblem(2, 0.1, 60.0);
+  Evaluator ev(prob, 2);
+  ev.Load({0, 0});
+  EXPECT_FALSE(ev.IsFeasible());
+  ev.Load({0, 1});
+  EXPECT_TRUE(ev.IsFeasible());
+}
+
+TEST(EvaluatorTest, ReplicasForcedApart) {
+  ConsolidationProblem prob = SmallProblem(2, 0.5, 4.0);
+  prob.workloads[0].replicas = 2;
+  Evaluator ev(prob, 3);
+  ASSERT_EQ(ev.num_slots(), 3);
+  // Slots 0,1 are replicas of workload 0.
+  ev.Load({0, 0, 1});
+  EXPECT_FALSE(ev.IsFeasible());
+  ev.Load({0, 1, 1});
+  EXPECT_TRUE(ev.IsFeasible());
+}
+
+TEST(EvaluatorTest, AntiAffinityPairs) {
+  ConsolidationProblem prob = SmallProblem(3, 0.5, 4.0);
+  prob.anti_affinity.push_back({0, 1});
+  Evaluator ev(prob, 2);
+  ev.Load({0, 0, 1});
+  EXPECT_FALSE(ev.IsFeasible());
+  ev.Load({0, 1, 0});
+  EXPECT_TRUE(ev.IsFeasible());
+}
+
+TEST(EvaluatorTest, PinnedSlotPenalizedElsewhere) {
+  ConsolidationProblem prob = SmallProblem(2, 0.5, 4.0);
+  prob.workloads[1].pinned_server = 1;
+  Evaluator ev(prob, 2);
+  const double wrong = ev.Evaluate({0, 0});
+  const double right = ev.Evaluate({0, 1});
+  EXPECT_GT(wrong, right + 1e6);
+}
+
+TEST(EvaluatorTest, MoveDeltaMatchesFullRecompute) {
+  ConsolidationProblem prob = SmallProblem(6, 1.3, 9.0);
+  prob.workloads[2].replicas = 2;
+  Evaluator ev(prob, 4);
+  util::Rng rng(3);
+  std::vector<int> assignment(ev.num_slots());
+  for (auto& a : assignment) a = static_cast<int>(rng.UniformInt(0, 3));
+  ev.Load(assignment);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int slot = static_cast<int>(rng.UniformInt(0, ev.num_slots() - 1));
+    const int to = static_cast<int>(rng.UniformInt(0, 3));
+    const double delta = ev.MoveDelta(slot, to);
+    std::vector<int> moved = ev.assignment();
+    const double before = ev.Evaluate(moved);
+    moved[slot] = to;
+    const double after = ev.Evaluate(moved);
+    EXPECT_NEAR(delta, after - before, 1e-6 * std::max(1.0, std::abs(after)));
+    // Occasionally apply the move to vary the cached state.
+    if (trial % 3 == 0) ev.ApplyMove(slot, to);
+  }
+}
+
+TEST(EvaluatorTest, ApplyMoveKeepsCostConsistent) {
+  ConsolidationProblem prob = SmallProblem(5, 0.8, 6.0);
+  Evaluator ev(prob, 3);
+  util::Rng rng(4);
+  std::vector<int> assignment(ev.num_slots(), 0);
+  ev.Load(assignment);
+  for (int i = 0; i < 100; ++i) {
+    const int slot = static_cast<int>(rng.UniformInt(0, ev.num_slots() - 1));
+    const int to = static_cast<int>(rng.UniformInt(0, 2));
+    ev.ApplyMove(slot, to);
+  }
+  EXPECT_NEAR(ev.current_cost(), ev.Evaluate(ev.assignment()),
+              1e-6 * std::max(1.0, ev.current_cost()));
+}
+
+TEST(EvaluatorTest, ServerLoadSnapshot) {
+  ConsolidationProblem prob = SmallProblem(3, 1.0, 8.0);
+  Evaluator ev(prob, 2);
+  ev.Load({0, 0, 1});
+  const auto s0 = ev.GetServerLoad(0);
+  const auto s1 = ev.GetServerLoad(1);
+  EXPECT_TRUE(s0.used);
+  EXPECT_EQ(s0.num_slots, 2);
+  EXPECT_EQ(s1.num_slots, 1);
+  // Two workloads' CPU plus one instance overhead.
+  EXPECT_NEAR(s0.cpu_cores[0], 2.0 - prob.per_instance_cpu_overhead_cores, 1e-9);
+  const auto unused = [&] {
+    Evaluator e2(prob, 3);
+    e2.Load({0, 0, 0});
+    return e2.GetServerLoad(2);
+  }();
+  EXPECT_FALSE(unused.used);
+}
+
+TEST(EvaluatorTest, DiskConstraintViaModel) {
+  // A fake disk model from synthetic points: max rate ~ 10000 regardless
+  // of working set (flat frontier over the fitted range).
+  std::vector<model::ProfilePoint> points;
+  for (double ws : {1e9, 2e9, 3e9}) {
+    for (double rate : {2000.0, 6000.0, 10000.0}) {
+      model::ProfilePoint p;
+      p.working_set_bytes = ws;
+      p.target_rows_per_sec = rate;
+      p.achieved_rows_per_sec = rate;
+      p.write_bytes_per_sec = 150 * rate;
+      points.push_back(p);
+    }
+  }
+  const model::DiskModel m = model::DiskModel::Fit(points);
+  ASSERT_TRUE(m.valid());
+
+  ConsolidationProblem prob;
+  prob.disk_model = &m;
+  prob.workloads.push_back(MakeProfile("a", 0.2, 4.0, 7000));
+  prob.workloads.push_back(MakeProfile("b", 0.2, 4.0, 7000));
+  Evaluator ev(prob, 2);
+  ev.Load({0, 0});  // 14000 rows/s > 0.9 * ~10000
+  EXPECT_FALSE(ev.IsFeasible());
+  ev.Load({0, 1});
+  EXPECT_TRUE(ev.IsFeasible());
+}
+
+}  // namespace
+}  // namespace kairos::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "db/buffer_pool.h"
+#include "db/flusher.h"
+#include "db/log_manager.h"
+
+namespace kairos::db {
+namespace {
+
+TEST(LogManagerTest, EmptyFlush) {
+  LogManager log(5.0, 1 << 20);
+  const auto r = log.FlushTick(0.1);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_EQ(r.groups, 0);
+}
+
+TEST(LogManagerTest, GroupCommitBoundsGroups) {
+  LogManager log(5.0, 1 << 30);
+  log.Append(1000, 100000);
+  const auto r = log.FlushTick(0.1);  // 0.1s / 5ms = 20 windows
+  EXPECT_EQ(r.bytes, 100000u);
+  EXPECT_LE(r.groups, 21);
+  EXPECT_GE(r.groups, 1);
+  EXPECT_DOUBLE_EQ(r.avg_commit_wait_ms, 2.5);
+}
+
+TEST(LogManagerTest, FewCommitsFewGroups) {
+  LogManager log(5.0, 1 << 30);
+  log.Append(3, 300);
+  const auto r = log.FlushTick(1.0);
+  EXPECT_EQ(r.groups, 3);  // never more groups than commits
+}
+
+TEST(LogManagerTest, CheckpointTrigger) {
+  LogManager log(5.0, 1000);
+  log.Append(1, 600);
+  log.FlushTick(0.1);
+  EXPECT_FALSE(log.CheckpointDue());
+  log.Append(1, 600);
+  log.FlushTick(0.1);
+  EXPECT_TRUE(log.CheckpointDue());
+  log.CheckpointDone();
+  EXPECT_FALSE(log.CheckpointDue());
+  EXPECT_EQ(log.total_bytes(), 1200u);
+}
+
+TEST(FlusherTest, NothingToFlush) {
+  BufferPool pool(100);
+  Flusher f(FlusherConfig{});
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.0, false);
+  EXPECT_TRUE(b.pages.empty());
+}
+
+TEST(FlusherTest, IdleDiskFlushesAggressively) {
+  BufferPool pool(1000);
+  for (PageId p = 0; p < 100; ++p) pool.Touch(p, true);
+  Flusher f(FlusherConfig{});
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.0, false);
+  // Idle flushing drains most of the dirty set.
+  EXPECT_GT(b.pages.size(), 50u);
+  EXPECT_FALSE(b.mandatory);
+}
+
+TEST(FlusherTest, BusyDiskFlushesSlowly) {
+  BufferPool pool(1000);
+  for (PageId p = 0; p < 100; ++p) pool.Touch(p, true);
+  FlusherConfig cfg;
+  cfg.flush_interval_s = 2.0;
+  Flusher f(cfg);
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.95, false);
+  // Only the base rate: ~100 * 0.1 / 2 = 5 pages.
+  EXPECT_LE(b.pages.size(), 10u);
+  EXPECT_GE(b.pages.size(), 1u);
+}
+
+TEST(FlusherTest, WatermarkForcesMandatory) {
+  BufferPool pool(100);
+  for (PageId p = 0; p < 90; ++p) pool.Touch(p, true);  // 90% dirty
+  Flusher f(FlusherConfig{});
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.99, false);
+  EXPECT_TRUE(b.mandatory);
+  EXPECT_EQ(b.pages.size(), 90u);
+}
+
+TEST(FlusherTest, CheckpointForcesMandatory) {
+  BufferPool pool(1000);
+  for (PageId p = 0; p < 10; ++p) pool.Touch(p, true);
+  Flusher f(FlusherConfig{});
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.99, true);
+  EXPECT_TRUE(b.mandatory);
+  EXPECT_EQ(b.pages.size(), 10u);
+}
+
+TEST(FlusherTest, BatchSortedWithSpan) {
+  BufferPool pool(1000);
+  for (PageId p : {500, 10, 300, 42}) pool.Touch(p, true);
+  Flusher f(FlusherConfig{});
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.0, true);
+  ASSERT_EQ(b.pages.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(b.pages.begin(), b.pages.end()));
+  EXPECT_EQ(b.span_pages, 500u - 10u + 1u);
+}
+
+TEST(FlusherTest, RespectsPerTickCap) {
+  BufferPool pool(100000);
+  for (PageId p = 0; p < 50000; ++p) pool.Touch(p, true);
+  FlusherConfig cfg;
+  cfg.max_pages_per_tick = 1000;
+  Flusher f(cfg);
+  const FlushBatch b = f.SelectBatch(pool, 0.1, 0.0, true);
+  EXPECT_EQ(b.pages.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace kairos::db

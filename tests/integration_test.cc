@@ -1,0 +1,161 @@
+// End-to-end pipeline tests: monitor live workloads -> gauge RAM -> build
+// profiles -> consolidate -> validate the plan by actually running the
+// consolidated deployment (the Section 7.2 methodology in miniature).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "core/engine.h"
+#include "db/server.h"
+#include "model/analytic.h"
+#include "monitor/gauge.h"
+#include "monitor/resource_monitor.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/micro.h"
+#include "workload/patterns.h"
+
+namespace kairos {
+namespace {
+
+workload::MicroSpec Spec(uint64_t ws_mb, double tps, double cpu_us,
+                         std::shared_ptr<workload::LoadPattern> pattern = nullptr) {
+  workload::MicroSpec spec;
+  spec.working_set_bytes = ws_mb * util::kMiB;
+  spec.data_bytes = 2 * ws_mb * util::kMiB;
+  spec.reads_per_tx = 4;
+  spec.updates_per_tx = 2;
+  spec.cpu_us_per_tx = cpu_us;
+  spec.pattern =
+      pattern ? std::move(pattern) : std::make_shared<workload::FlatPattern>(tps);
+  return spec;
+}
+
+// Monitors one workload on a dedicated server and returns its profile.
+monitor::WorkloadProfile ProfileOne(const std::string& name,
+                                    const workload::MicroSpec& spec, uint64_t seed) {
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 4 * util::kGiB;
+  db::Server server(sim::MachineSpec::Server1(), cfg, seed);
+  workload::MicroWorkload w(name, spec);
+  workload::Driver driver(&server, seed);
+  driver.AddWorkload(&w);
+  driver.Warm();
+  driver.Run(2.0);
+  monitor::ResourceMonitor monitor(monitor::MonitorConfig{});
+  auto profiles = monitor.Collect(&driver, 8.0, {&w});
+  return profiles[0];
+}
+
+TEST(IntegrationTest, MonitorProfileConsolidateValidate) {
+  // Three modest workloads that clearly fit one Server1-class machine.
+  std::vector<monitor::WorkloadProfile> profiles;
+  profiles.push_back(ProfileOne("a", Spec(256, 150, 400), 31));
+  profiles.push_back(ProfileOne("b", Spec(384, 100, 600), 32));
+  profiles.push_back(ProfileOne("c", Spec(128, 200, 300), 33));
+
+  core::ConsolidationProblem problem;
+  problem.workloads = profiles;
+  problem.target_machine = sim::MachineSpec::Server1();
+  const core::ConsolidationPlan plan =
+      core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used, 1);
+
+  // Validate by physically co-locating, as the paper does: throughput of
+  // each workload must match the dedicated-server deployment.
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 8 * util::kGiB;
+  db::Server server(sim::MachineSpec::Server1(), cfg, 77);
+  workload::MicroWorkload a("a", Spec(256, 150, 400));
+  workload::MicroWorkload b("b", Spec(384, 100, 600));
+  workload::MicroWorkload c("c", Spec(128, 200, 300));
+  workload::Driver driver(&server, 77);
+  driver.AddWorkload(&a);
+  driver.AddWorkload(&b);
+  driver.AddWorkload(&c);
+  driver.Warm();
+  driver.Run(2.0);
+  const auto res = driver.Run(10.0);
+  EXPECT_NEAR(res.workloads[0].MeanTps(), 150, 15);
+  EXPECT_NEAR(res.workloads[1].MeanTps(), 100, 10);
+  EXPECT_NEAR(res.workloads[2].MeanTps(), 200, 20);
+  // Latency stays in the same regime as dedicated (a few ms over base).
+  for (const auto& w : res.workloads) EXPECT_LT(w.MeanLatencyMs(), 30.0);
+}
+
+TEST(IntegrationTest, EngineRejectsOverload) {
+  // Workloads whose combined CPU exceeds one machine: the engine must use
+  // two servers rather than recommend an overloaded single machine.
+  std::vector<monitor::WorkloadProfile> profiles;
+  for (int i = 0; i < 3; ++i) {
+    monitor::WorkloadProfile p;
+    p.name = "hot" + std::to_string(i);
+    p.cpu_cores = util::TimeSeries::Constant(1.0, 4, 3.5);
+    p.ram_bytes = util::TimeSeries::Constant(1.0, 4, 1e9);
+    p.update_rows_per_sec = util::TimeSeries::Constant(1.0, 4, 10);
+    p.working_set_bytes = 8e8;
+    profiles.push_back(p);
+  }
+  core::ConsolidationProblem problem;
+  problem.workloads = profiles;
+  problem.target_machine = sim::MachineSpec::Server1();  // 8 cores
+  const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used, 2);  // 3 x 3.5 = 10.5 > 7.2 usable cores
+}
+
+TEST(IntegrationTest, GaugeFeedsEngine) {
+  // Gauged working sets (not OS RSS) are what make consolidation possible:
+  // with RSS the two workloads would not fit one 32 GB machine.
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = 24 * util::kGiB;  // over-provisioned pool
+  db::Server server(sim::MachineSpec::Server1(), cfg, 41);
+  workload::MicroWorkload w("big", Spec(512, 200, 300));
+  workload::Driver driver(&server, 41);
+  driver.AddWorkload(&w);
+  driver.Warm();
+  driver.Run(2.0);
+
+  monitor::GaugeConfig gauge_cfg;
+  gauge_cfg.max_step_pages = 16384;  // fast gauging of the huge pool
+  monitor::BufferPoolGauge gauge(gauge_cfg);
+  const monitor::GaugeResult gauged = gauge.Run(&driver);
+  // OS view: ~24 GB allocated. Gauged: hundreds of MB.
+  EXPECT_LT(gauged.working_set_bytes, 4 * util::kGiB);
+
+  monitor::ResourceMonitor monitor(monitor::MonitorConfig{});
+  auto profiles =
+      monitor.Collect(&driver, 4.0, {&w}, {{"big", gauged.working_set_bytes}});
+  core::ConsolidationProblem problem;
+  problem.workloads = {profiles[0], profiles[0], profiles[0]};
+  problem.target_machine = sim::MachineSpec::Server1();
+  const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used, 1);
+}
+
+TEST(IntegrationTest, TimeVaryingWorkloadsConsolidate) {
+  // Anti-correlated sinusoidal CPU loads pack tighter than their peaks
+  // would suggest — the engine's time-series constraints at work.
+  auto day = [](double phase) {
+    return std::make_shared<workload::SinusoidPattern>(300.0, 280.0, 40.0, phase);
+  };
+  std::vector<monitor::WorkloadProfile> profiles;
+  profiles.push_back(
+      ProfileOne("day", Spec(128, 0, 2500, day(0.0)), 51));
+  profiles.push_back(
+      ProfileOne("night", Spec(128, 0, 2500, day(M_PI)), 52));
+
+  core::ConsolidationProblem problem;
+  problem.workloads = profiles;
+  problem.target_machine = sim::MachineSpec::Server2();  // 2 cores
+  const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used, 1);
+}
+
+}  // namespace
+}  // namespace kairos

@@ -1,0 +1,136 @@
+#include "opt/direct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kairos::opt {
+namespace {
+
+double Sphere(const std::vector<double>& x, const std::vector<double>& center) {
+  double s = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - center[i];
+    s += d * d;
+  }
+  return s;
+}
+
+TEST(DirectTest, MinimizesSphere1D) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 300;
+  const auto res = direct.Minimize(
+      [](const std::vector<double>& x) { return Sphere(x, {0.7}); }, 1, opts);
+  EXPECT_NEAR(res.x[0], 0.7, 0.02);
+  EXPECT_LT(res.fx, 1e-3);
+}
+
+TEST(DirectTest, MinimizesSphere4D) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 3000;
+  const std::vector<double> center{0.2, 0.8, 0.5, 0.35};
+  const auto res = direct.Minimize(
+      [&](const std::vector<double>& x) { return Sphere(x, center); }, 4, opts);
+  EXPECT_LT(res.fx, 0.01);
+}
+
+TEST(DirectTest, EscapesLocalMinima) {
+  // Rastrigin-flavored multimodal function on [0,1], global min at 0.5.
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 2000;
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0;
+    for (double xi : x) {
+      const double z = (xi - 0.5) * 8.0;
+      s += z * z - 3.0 * std::cos(2.0 * M_PI * z) + 3.0;
+    }
+    return s;
+  };
+  const auto res = direct.Minimize(f, 2, opts);
+  EXPECT_LT(res.fx, 0.5);
+  EXPECT_NEAR(res.x[0], 0.5, 0.05);
+  EXPECT_NEAR(res.x[1], 0.5, 0.05);
+}
+
+TEST(DirectTest, RespectsEvaluationBudget) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 100;
+  int calls = 0;
+  direct.Minimize(
+      [&](const std::vector<double>& x) {
+        ++calls;
+        return Sphere(x, {0.3, 0.3, 0.3});
+      },
+      3, opts);
+  EXPECT_LE(calls, 105);  // small slack for the division batch in flight
+  EXPECT_GE(calls, 50);
+}
+
+TEST(DirectTest, StopsAtTargetValue) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 100000;
+  opts.target_value = 0.01;
+  const auto res = direct.Minimize(
+      [](const std::vector<double>& x) { return Sphere(x, {0.5, 0.5}); }, 2, opts);
+  EXPECT_TRUE(res.hit_target);
+  EXPECT_LT(res.evaluations, 1000);
+}
+
+TEST(DirectTest, HandlesFlatFunction) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 200;
+  const auto res =
+      direct.Minimize([](const std::vector<double>&) { return 7.0; }, 3, opts);
+  EXPECT_DOUBLE_EQ(res.fx, 7.0);
+}
+
+TEST(DirectTest, ZeroDims) {
+  DirectOptimizer direct;
+  const auto res =
+      direct.Minimize([](const std::vector<double>&) { return 1.0; }, 0,
+                      DirectOptions{});
+  EXPECT_TRUE(res.x.empty());
+}
+
+TEST(DirectTest, EpsilonBiasesSearch) {
+  // Both settings minimize; with a deceptive function the more-global
+  // epsilon should not do worse than a tiny epsilon at equal budget.
+  const auto f = [](const std::vector<double>& x) {
+    // Deep narrow basin near 0.9, broad shallow basin near 0.3.
+    const double a = (x[0] - 0.9) / 0.02;
+    const double b = (x[0] - 0.3) / 0.3;
+    return std::min(a * a - 2.0, b * b - 1.0);
+  };
+  DirectOptimizer direct;
+  DirectOptions global;
+  global.max_evaluations = 1500;
+  global.epsilon = 1e-2;
+  DirectOptions local = global;
+  local.epsilon = 1e-7;
+  const auto res_g = direct.Minimize(f, 1, global);
+  const auto res_l = direct.Minimize(f, 1, local);
+  EXPECT_LE(res_g.fx, -1.9);   // found the deep basin
+  EXPECT_LE(res_l.fx, -0.95);  // at least the shallow one
+}
+
+TEST(DirectTest, BestPointWithinBounds) {
+  DirectOptimizer direct;
+  DirectOptions opts;
+  opts.max_evaluations = 500;
+  const auto res = direct.Minimize(
+      [](const std::vector<double>& x) { return -x[0] - x[1]; }, 2, opts);
+  for (double v : res.x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GT(res.x[0], 0.8);  // pushed toward the boundary
+}
+
+}  // namespace
+}  // namespace kairos::opt

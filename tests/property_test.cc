@@ -1,0 +1,185 @@
+// Parameterized property tests: invariants that must hold across sweeps of
+// configurations, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/engine.h"
+#include "db/server.h"
+#include "model/analytic.h"
+#include "monitor/gauge.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/micro.h"
+
+namespace kairos {
+namespace {
+
+// ---- Gauging accuracy across working-set / pool ratios ----
+
+class GaugeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GaugeSweep, EstimateWithinTolerance) {
+  const auto [ws_mb, pool_mb] = GetParam();
+  db::DbmsConfig cfg;
+  cfg.buffer_pool_bytes = static_cast<uint64_t>(pool_mb) * util::kMiB;
+  db::Server server(sim::MachineSpec::Server1(), cfg, 7);
+  workload::MicroSpec spec;
+  spec.working_set_bytes = static_cast<uint64_t>(ws_mb) * util::kMiB;
+  spec.data_bytes = 2 * spec.working_set_bytes;
+  spec.reads_per_tx = 4;
+  spec.updates_per_tx = 2;
+  spec.pattern = std::make_shared<workload::FlatPattern>(400);
+  workload::MicroWorkload w("m", spec);
+  workload::Driver driver(&server, 7);
+  driver.AddWorkload(&w);
+  driver.Warm();
+  driver.Run(2.0);
+
+  monitor::BufferPoolGauge gauge(monitor::GaugeConfig{});
+  const monitor::GaugeResult result = gauge.Run(&driver);
+  // Never underestimate by much (unsafe) and stay within ~40% above.
+  EXPECT_GT(static_cast<double>(result.working_set_bytes),
+            0.8 * static_cast<double>(spec.working_set_bytes));
+  EXPECT_LT(static_cast<double>(result.working_set_bytes),
+            1.4 * static_cast<double>(spec.working_set_bytes) +
+                64.0 * static_cast<double>(util::kMiB));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, GaugeSweep,
+    ::testing::Values(std::make_tuple(96, 256), std::make_tuple(160, 512),
+                      std::make_tuple(256, 512), std::make_tuple(192, 1024)));
+
+// ---- The combining property across tenant counts ----
+
+class CombineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CombineSweep, AggregateIoMatchesSingleWorkload) {
+  const int tenants = GetParam();
+  auto run = [&](int n) {
+    db::DbmsConfig cfg;
+    cfg.buffer_pool_bytes = 2 * util::kGiB;
+    db::Server server(sim::MachineSpec::Server1(), cfg, 23);
+    workload::Driver driver(&server, 23);
+    std::vector<std::unique_ptr<workload::MicroWorkload>> ws;
+    for (int i = 0; i < n; ++i) {
+      workload::MicroSpec spec;
+      spec.working_set_bytes = 768 * util::kMiB / n;
+      spec.data_bytes = 2 * spec.working_set_bytes;
+      spec.updates_per_tx = 10;
+      spec.reads_per_tx = 2;
+      spec.pattern = std::make_shared<workload::FlatPattern>(6000.0 / n / 10.0);
+      ws.push_back(std::make_unique<workload::MicroWorkload>(
+          "t" + std::to_string(i), spec));
+      driver.AddWorkload(ws.back().get());
+    }
+    driver.Warm();
+    driver.Run(3.0);
+    return driver.Run(8.0).server.write_mbps.Mean();
+  };
+  const double combined = run(tenants);
+  const double single = run(1);
+  EXPECT_NEAR(combined, single, 0.3 * single + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(TenantCounts, CombineSweep, ::testing::Values(2, 3, 6));
+
+// ---- Engine invariants over randomized problems ----
+
+class EngineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineSweep, PlanInvariants) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  core::ConsolidationProblem prob;
+  const int n = 6 + static_cast<int>(rng.UniformInt(0, 8));
+  for (int i = 0; i < n; ++i) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(i);
+    std::vector<double> cpu(6), ram(6), rows(6);
+    for (int t = 0; t < 6; ++t) {
+      cpu[t] = rng.Uniform(0.05, 2.5);
+      ram[t] = rng.Uniform(2e9, 30e9);
+      rows[t] = rng.Uniform(5, 150);
+    }
+    p.cpu_cores = util::TimeSeries(300, cpu);
+    p.ram_bytes = util::TimeSeries(300, ram);
+    p.update_rows_per_sec = util::TimeSeries(300, rows);
+    p.working_set_bytes = rng.Uniform(1e9, 20e9);
+    if (rng.Bernoulli(0.2)) p.replicas = 2;
+    prob.workloads.push_back(p);
+  }
+  core::EngineOptions opts;
+  opts.seed = seed;
+  const core::ConsolidationPlan plan = core::ConsolidationEngine(prob, opts).Solve();
+
+  // Invariant 1: every slot assigned to a valid server.
+  const int slots = prob.TotalSlots();
+  ASSERT_EQ(static_cast<int>(plan.assignment.server_of_slot.size()), slots);
+  for (int s : plan.assignment.server_of_slot) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, slots);
+  }
+  // Invariant 2: never below the fractional bound; never above one server
+  // per slot.
+  EXPECT_GE(plan.servers_used, plan.fractional_lower_bound);
+  EXPECT_LE(plan.servers_used, slots);
+  // Invariant 3: a feasible plan never loses to a feasible greedy.
+  if (plan.feasible && plan.greedy_servers >= 0) {
+    EXPECT_LE(plan.servers_used, plan.greedy_servers);
+  }
+  // Invariant 4: replicas of one workload land on distinct servers when the
+  // plan is feasible.
+  if (plan.feasible) {
+    int slot = 0;
+    for (const auto& w : prob.workloads) {
+      for (int a = 0; a < w.replicas; ++a) {
+        for (int b = a + 1; b < w.replicas; ++b) {
+          EXPECT_NE(plan.assignment.server_of_slot[slot + a],
+                    plan.assignment.server_of_slot[slot + b]);
+        }
+      }
+      slot += w.replicas;
+    }
+  }
+  // Invariant 5: the reported objective matches re-evaluation.
+  core::Evaluator ev(prob, slots);
+  std::vector<int> a = plan.assignment.server_of_slot;
+  ev.Load(a);
+  EXPECT_EQ(ev.IsFeasible(), plan.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---- Analytic disk model invariants across a grid ----
+
+class AnalyticSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnalyticSweep, MonotoneAndPositive) {
+  const double ws_gb = GetParam();
+  model::AnalyticConfig cfg;
+  const double ws = ws_gb * 1e9;
+  double prev = 0;
+  for (double rate = 100; rate <= 25600; rate *= 2) {
+    const double v = model::AnalyticWriteBytesPerSec(cfg, ws, rate);
+    EXPECT_GT(v, prev);  // strictly increasing in rate
+    prev = v;
+    // Never exceeds the no-coalescing bound: log + one page per row.
+    EXPECT_LE(v, rate * (cfg.log_bytes_per_row + cfg.page_bytes) * 1.001);
+  }
+  const sim::DiskSpec raid = sim::DiskSpec::Raid10();
+  const double max_rate = model::AnalyticMaxRate(raid, cfg, ws);
+  EXPECT_GT(max_rate, 0);
+  // Just below the frontier is sustainable; just above is not.
+  EXPECT_LT(model::AnalyticDiskBusyFraction(raid, cfg, ws, max_rate * 0.98), 1.0);
+  EXPECT_GT(model::AnalyticDiskBusyFraction(raid, cfg, ws, max_rate * 1.05), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, AnalyticSweep,
+                         ::testing::Values(0.5, 2.0, 8.0, 32.0, 96.0));
+
+}  // namespace
+}  // namespace kairos

@@ -1,0 +1,137 @@
+#include "sim/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace kairos::sim {
+namespace {
+
+DiskSpec Spec() { return DiskSpec(); }
+
+TEST(DiskTest, SeqWriteScalesWithBytes) {
+  Disk d(Spec());
+  EXPECT_LT(d.SeqWriteCost(1 << 20, 0), d.SeqWriteCost(16 << 20, 0));
+  EXPECT_DOUBLE_EQ(d.SeqWriteCost(0, 0), 0.0);
+}
+
+TEST(DiskTest, FsyncAddsCost) {
+  Disk d(Spec());
+  EXPECT_GT(d.SeqWriteCost(1 << 20, 10), d.SeqWriteCost(1 << 20, 0));
+}
+
+TEST(DiskTest, SeekTimeMonotonic) {
+  Disk d(Spec());
+  EXPECT_LT(d.SeekTime(0.0), d.SeekTime(0.1));
+  EXPECT_LT(d.SeekTime(0.1), d.SeekTime(1.0));
+  EXPECT_DOUBLE_EQ(d.SeekTime(1.0), d.SeekTime(2.0));  // clamped
+}
+
+TEST(DiskTest, RandomReadLinearInPages) {
+  Disk d(Spec());
+  const double one = d.RandomReadCost(1, 16384);
+  EXPECT_NEAR(d.RandomReadCost(10, 16384), 10 * one, 1e-12);
+  EXPECT_DOUBLE_EQ(d.RandomReadCost(0, 16384), 0.0);
+}
+
+TEST(DiskTest, SortedCheaperThanRandomWrites) {
+  Disk d(Spec());
+  const int64_t pages = 1000;
+  const uint64_t page = 16384;
+  // Sorted within a 1 GB span vs fully random.
+  EXPECT_LT(d.SortedWriteCost(pages, page, 1ULL << 30), d.RandomWriteCost(pages, page));
+}
+
+TEST(DiskTest, DenseSortedBatchApproachesSweep) {
+  Disk d(Spec());
+  const uint64_t page = 16384;
+  const uint64_t span = 256ULL << 20;  // 256 MB
+  // Batch so dense the sweep bound must kick in.
+  const int64_t pages = static_cast<int64_t>(span / page);
+  const double cost = d.SortedWriteCost(pages, page, span);
+  const double sweep =
+      d.SeekTime(1.0 / 3.0) + static_cast<double>(span) / (d.spec().seq_write_mbps * 1e6);
+  EXPECT_NEAR(cost, sweep, 1e-9);
+}
+
+TEST(DiskTest, SparseSortedStillPaysSeeks) {
+  Disk d(Spec());
+  // 10 pages over the whole disk: essentially random.
+  const double sparse = d.SortedWriteCost(10, 16384, d.spec().capacity_bytes);
+  EXPECT_GT(sparse, 0.5 * d.RandomWriteCost(10, 16384));
+}
+
+TEST(DiskTest, SortedCostMonotonicInPages) {
+  Disk d(Spec());
+  double prev = 0;
+  for (int64_t pages : {10, 100, 1000, 10000}) {
+    const double c = d.SortedWriteCost(pages, 16384, 2ULL << 30);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(DiskTest, InterleaveZeroForSingleStream) {
+  Disk d(Spec());
+  EXPECT_DOUBLE_EQ(d.InterleaveCost(1, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(d.InterleaveCost(0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(d.InterleaveCost(5, 0), 0.0);
+}
+
+TEST(DiskTest, InterleaveGrowsWithStreams) {
+  Disk d(Spec());
+  EXPECT_GT(d.InterleaveCost(4, 100), d.InterleaveCost(2, 100));
+  EXPECT_GT(d.InterleaveCost(2, 100), 0.0);
+}
+
+TEST(DiskTest, TickAccountingUnderCapacity) {
+  Disk d(Spec());
+  d.Submit(0.03);
+  const auto stats = d.EndTick(0.1);
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 0.03);
+  EXPECT_NEAR(stats.utilization, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.serviced_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.backlog_seconds, 0.0);
+}
+
+TEST(DiskTest, TickBacklogCarriesOver) {
+  Disk d(Spec());
+  d.Submit(0.25);
+  auto stats = d.EndTick(0.1);
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+  EXPECT_NEAR(stats.serviced_fraction, 0.4, 1e-12);
+  EXPECT_NEAR(stats.backlog_seconds, 0.15, 1e-12);
+  // Next tick drains backlog even with no new demand.
+  stats = d.EndTick(0.1);
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 0.1);
+  stats = d.EndTick(0.1);
+  EXPECT_NEAR(stats.busy_seconds, 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.backlog_seconds, 0.0);
+}
+
+TEST(DiskTest, ResetClearsState) {
+  Disk d(Spec());
+  d.Submit(10.0);
+  d.EndTick(0.1);
+  d.Reset();
+  const auto stats = d.EndTick(0.1);
+  EXPECT_DOUBLE_EQ(stats.demand_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(d.total_busy_seconds(), 0.0);
+}
+
+TEST(MachineTest, StandardCoresScaling) {
+  MachineSpec m = MachineSpec::Server1();
+  EXPECT_NEAR(m.StandardCores(), 8.0, 1e-9);  // 2.66 GHz = standard
+  MachineSpec m2 = MachineSpec::Server2();
+  EXPECT_NEAR(m2.StandardCores(), 2.0 * 3.2 / 2.66, 1e-9);
+}
+
+TEST(MachineTest, ConsolidationTarget) {
+  const MachineSpec t = MachineSpec::ConsolidationTarget();
+  EXPECT_EQ(t.cores, 12);
+  EXPECT_EQ(t.ram_bytes, 96 * util::kGiB);
+}
+
+}  // namespace
+}  // namespace kairos::sim

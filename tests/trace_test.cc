@@ -1,0 +1,189 @@
+#include "trace/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/rrd.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace kairos::trace {
+namespace {
+
+TEST(DatasetTest, ServerCountsMatchPaper) {
+  EXPECT_EQ(DatasetServerCount(DatasetKind::kInternal), 25);
+  EXPECT_EQ(DatasetServerCount(DatasetKind::kWikia), 34);
+  EXPECT_EQ(DatasetServerCount(DatasetKind::kWikipedia), 40);
+  EXPECT_EQ(DatasetServerCount(DatasetKind::kSecondLife), 97);
+  DatasetGenerator gen(1);
+  EXPECT_EQ(gen.GenerateAll().size(), 196u);
+}
+
+TEST(DatasetTest, Deterministic) {
+  DatasetGenerator a(42), b(42);
+  const auto ta = a.Generate(DatasetKind::kWikia);
+  const auto tb = b.Generate(DatasetKind::kWikia);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].cpu_cores.values(), tb[i].cpu_cores.values());
+  }
+  DatasetGenerator c(43);
+  EXPECT_NE(c.Generate(DatasetKind::kWikia)[0].cpu_cores.values(),
+            ta[0].cpu_cores.values());
+}
+
+TEST(DatasetTest, SamplingMatchesRrdConvention) {
+  DatasetGenerator gen(1);
+  const auto traces = gen.Generate(DatasetKind::kInternal);
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.cpu_cores.size(), 288u);  // 24h at 5 min
+    EXPECT_DOUBLE_EQ(t.cpu_cores.interval_seconds(), 300.0);
+  }
+}
+
+TEST(DatasetTest, MeanCpuUnderFourPercent) {
+  // The paper's headline: <4% average CPU utilization across ~200 servers.
+  DatasetGenerator gen(7);
+  double used = 0, capacity = 0;
+  for (const auto& t : gen.GenerateAll()) {
+    used += t.cpu_cores.Mean();
+    capacity += t.machine.StandardCores();
+  }
+  EXPECT_LT(used / capacity, 0.04);
+  EXPECT_GT(used / capacity, 0.005);  // not trivially idle either
+}
+
+TEST(DatasetTest, AllocatedRamExceedsRequired) {
+  DatasetGenerator gen(7);
+  for (const auto& t : gen.GenerateAll()) {
+    EXPECT_GT(t.ram_allocated_bytes.Mean(), t.ram_required_bytes.Mean());
+    EXPECT_GT(t.working_set_bytes, 0);
+    EXPECT_LE(t.working_set_bytes, t.ram_required_bytes.Max());
+  }
+}
+
+TEST(DatasetTest, WikipediaUsesThirtyPercentScaling) {
+  DatasetGenerator gen(7);
+  for (const auto& t : gen.Generate(DatasetKind::kWikipedia)) {
+    EXPECT_NEAR(t.ram_required_bytes.Mean() / t.ram_allocated_bytes.Mean(), 0.7,
+                1e-9);
+  }
+}
+
+TEST(DatasetTest, SecondLifeSnapshotMachines) {
+  DatasetGenerator gen(7);
+  const auto traces = gen.Generate(DatasetKind::kSecondLife);
+  // The first 27 machines carry a late-night CPU shelf the others lack.
+  int spiky = 0;
+  for (int i = 0; i < 27; ++i) {
+    const auto& cpu = traces[i].cpu_cores;
+    if (cpu.Max() > cpu.Mean() + 1.0) ++spiky;
+  }
+  EXPECT_GE(spiky, 24);
+  int calm = 0;
+  for (size_t i = 27; i < traces.size(); ++i) {
+    if (traces[i].cpu_cores.Max() < 2.0) ++calm;
+  }
+  EXPECT_GE(calm, 60);
+}
+
+TEST(DatasetTest, DiurnalShape) {
+  // Wikia evening peak: the busiest sample sits in the evening hours and
+  // is well above the nightly trough.
+  DatasetGenerator gen(7);
+  const auto traces = gen.Generate(DatasetKind::kWikia);
+  int evening_peaks = 0;
+  for (const auto& t : traces) {
+    size_t peak_i = 0;
+    for (size_t i = 1; i < t.cpu_cores.size(); ++i) {
+      if (t.cpu_cores.at(i) > t.cpu_cores.at(peak_i)) peak_i = i;
+    }
+    const double peak_hour = t.cpu_cores.TimeAt(peak_i) / 3600.0;
+    if (peak_hour > 16.0 && peak_hour < 24.0) ++evening_peaks;
+    EXPECT_GT(t.cpu_cores.Max(), 2.5 * std::max(0.02, t.cpu_cores.Min()));
+  }
+  EXPECT_GE(evening_peaks, 28);  // most of 34
+}
+
+TEST(DatasetTest, ToProfileCopiesFields) {
+  DatasetGenerator gen(7);
+  const auto traces = gen.Generate(DatasetKind::kInternal);
+  const auto profile = ToProfile(traces[0]);
+  EXPECT_EQ(profile.name, traces[0].name);
+  EXPECT_EQ(profile.cpu_cores.values(), traces[0].cpu_cores.values());
+  EXPECT_EQ(profile.ram_bytes.values(), traces[0].ram_required_bytes.values());
+  EXPECT_DOUBLE_EQ(profile.working_set_bytes, traces[0].working_set_bytes);
+  EXPECT_EQ(ToProfiles(traces).size(), traces.size());
+}
+
+TEST(WeeklyTest, ThreeWeeksHourly) {
+  const auto series = WeeklyAggregateCpu(DatasetKind::kWikipedia, 3, 5);
+  EXPECT_EQ(series.size(), 3u * 7 * 24);
+  EXPECT_DOUBLE_EQ(series.interval_seconds(), 3600.0);
+}
+
+TEST(WeeklyTest, PastPredictsFuture) {
+  // Figure 13: the average of weeks 1-2 predicts week 3 within ~7-8%.
+  for (DatasetKind kind : {DatasetKind::kWikipedia, DatasetKind::kSecondLife}) {
+    const auto series = WeeklyAggregateCpu(kind, 3, 11);
+    const int week = 7 * 24;
+    std::vector<double> prediction(week), actual(week);
+    for (int i = 0; i < week; ++i) {
+      prediction[i] = 0.5 * (series.at(i) + series.at(week + i));
+      actual[i] = series.at(2 * week + i);
+    }
+    const double rmse = util::Rmse(prediction, actual);
+    double mean = 0;
+    for (double v : actual) mean += v;
+    mean /= week;
+    EXPECT_LT(rmse / mean, 0.12);  // paper reports 7-8%
+    EXPECT_GT(rmse, 0.0);
+  }
+}
+
+TEST(WeeklyTest, SecondLifeNightShelf) {
+  const auto series = WeeklyAggregateCpu(DatasetKind::kSecondLife, 1, 3);
+  // Hours 2-4 carry the snapshot pool load: compare 3am vs 6am.
+  double h3 = 0, h6 = 0;
+  for (int d = 0; d < 7; ++d) {
+    h3 += series.at(d * 24 + 3);
+    h6 += series.at(d * 24 + 6);
+  }
+  EXPECT_GT(h3, h6 * 1.3);
+}
+
+TEST(RrdTest, RoundTrip) {
+  DatasetGenerator gen(9, TraceConfig{24, 300.0});
+  const auto traces = gen.Generate(DatasetKind::kInternal);
+  const std::string text = SerializeTraces(traces);
+  std::vector<ServerTrace> parsed;
+  ASSERT_TRUE(ParseTraces(text, &parsed));
+  ASSERT_EQ(parsed.size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, traces[i].name);
+    EXPECT_EQ(parsed[i].dataset, traces[i].dataset);
+    EXPECT_EQ(parsed[i].cpu_cores.values(), traces[i].cpu_cores.values());
+    EXPECT_EQ(parsed[i].update_rows_per_sec.values(),
+              traces[i].update_rows_per_sec.values());
+    EXPECT_DOUBLE_EQ(parsed[i].working_set_bytes, traces[i].working_set_bytes);
+  }
+}
+
+TEST(RrdTest, RejectsGarbage) {
+  std::vector<ServerTrace> out;
+  EXPECT_FALSE(ParseTraces("not-a-trace 1 2", &out));
+  EXPECT_FALSE(ParseTraces("", &out));
+  EXPECT_FALSE(ParseTraces("kairos-rrd 2 0", &out));  // wrong version
+}
+
+TEST(RrdTest, FileRoundTrip) {
+  DatasetGenerator gen(9, TraceConfig{8, 300.0});
+  const auto traces = gen.Generate(DatasetKind::kWikia);
+  const std::string path = ::testing::TempDir() + "/traces.krrd";
+  ASSERT_TRUE(SaveTraces(path, traces));
+  std::vector<ServerTrace> parsed;
+  ASSERT_TRUE(LoadTraces(path, &parsed));
+  EXPECT_EQ(parsed.size(), traces.size());
+}
+
+}  // namespace
+}  // namespace kairos::trace

@@ -1,0 +1,110 @@
+#include "util/polyfit.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace kairos::util {
+namespace {
+
+TEST(SolveLinearTest, Identity) {
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({1, 0, 0, 1}, {3, 4}, 2, &x));
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(x[1], 4);
+}
+
+TEST(SolveLinearTest, General) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({2, 1, 1, -1}, {5, 1}, 2, &x));
+  EXPECT_NEAR(x[0], 2, 1e-12);
+  EXPECT_NEAR(x[1], 1, 1e-12);
+}
+
+TEST(SolveLinearTest, SingularFails) {
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem({1, 2, 2, 4}, {1, 2}, 2, &x));
+}
+
+TEST(SolveLinearTest, NeedsPivoting) {
+  // First pivot is zero; partial pivoting must handle it.
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem({0, 1, 1, 0}, {7, 9}, 2, &x));
+  EXPECT_NEAR(x[0], 9, 1e-12);
+  EXPECT_NEAR(x[1], 7, 1e-12);
+}
+
+TEST(LeastSquaresTest, RecoversLine) {
+  // y = 2 + 3u sampled exactly.
+  std::vector<double> x, y;
+  for (double u = 0; u < 10; u += 1) {
+    x.push_back(1.0);
+    x.push_back(u);
+    y.push_back(2 + 3 * u);
+  }
+  std::vector<double> beta;
+  ASSERT_TRUE(LeastSquares(x, y, 2, &beta));
+  EXPECT_NEAR(beta[0], 2, 1e-9);
+  EXPECT_NEAR(beta[1], 3, 1e-9);
+}
+
+TEST(LarTest, RobustToOutliers) {
+  // y = 5u with one wild outlier; LAR should track the line better than OLS.
+  std::vector<double> x, y;
+  for (double u = 0; u <= 20; u += 1) {
+    x.push_back(1.0);
+    x.push_back(u);
+    y.push_back(5 * u);
+  }
+  y[20] = 1000;  // outlier at the end tilts the OLS slope
+  std::vector<double> ols, lar;
+  ASSERT_TRUE(LeastSquares(x, y, 2, &ols));
+  ASSERT_TRUE(LeastAbsoluteResiduals(x, y, 2, &lar));
+  EXPECT_LT(std::fabs(lar[1] - 5.0), std::fabs(ols[1] - 5.0));
+  EXPECT_NEAR(lar[1], 5.0, 0.2);
+}
+
+TEST(Poly2DTest, EvaluatesCoefficients) {
+  const Poly2D p({1, 2, 3, 4, 5, 6});
+  // 1 + 2u + 3v + 4u^2 + 5uv + 6v^2 at (1, 2) = 1+2+6+4+10+24 = 47.
+  EXPECT_DOUBLE_EQ(p.Eval(1, 2), 47);
+}
+
+TEST(Poly2DTest, ExactRecovery) {
+  const Poly2D truth({0.5, -1, 2, 0.25, 1.5, -0.75});
+  std::vector<double> u, v, y;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    u.push_back(a);
+    v.push_back(b);
+    y.push_back(truth.Eval(a, b));
+  }
+  Poly2D fit;
+  ASSERT_TRUE(Poly2D::FitLeastSquares(u, v, y, &fit));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(fit.coefficients()[i], truth.coefficients()[i], 1e-6);
+  }
+  Poly2D lar;
+  ASSERT_TRUE(Poly2D::FitLar(u, v, y, &lar));
+  EXPECT_NEAR(lar.Eval(1.0, 1.0), truth.Eval(1.0, 1.0), 1e-4);
+}
+
+TEST(Poly1DTest, QuadraticRecovery) {
+  std::vector<double> u, y;
+  for (double a = -3; a <= 3; a += 0.5) {
+    u.push_back(a);
+    y.push_back(2 - a + 0.5 * a * a);
+  }
+  Poly1D fit;
+  ASSERT_TRUE(Poly1D::Fit(u, y, &fit));
+  EXPECT_NEAR(fit.coefficients()[0], 2, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[1], -1, 1e-9);
+  EXPECT_NEAR(fit.coefficients()[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.Eval(2.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kairos::util

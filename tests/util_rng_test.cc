@@ -1,0 +1,142 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kairos::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZipfWithinRange) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Zipf(100, 0.5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfSkewFavorsLowRanks) {
+  Rng rng(31);
+  int low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(1000, 0.8) < 100) ++low;
+  }
+  // With strong skew, far more than 10% of samples land in the lowest 10%.
+  EXPECT_GT(static_cast<double>(low) / n, 0.3);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(37);
+  EXPECT_EQ(rng.Zipf(1, 0.5), 0);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng(41 + static_cast<uint64_t>(mean * 1000));
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 20.0, 100.0, 500.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+}  // namespace
+}  // namespace kairos::util

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/units.h"
+#include "vm/multi_instance.h"
+#include "vm/vm_driver.h"
+#include "workload/micro.h"
+#include "workload/patterns.h"
+#include "workload/tpcc.h"
+
+namespace kairos::vm {
+namespace {
+
+MultiInstanceConfig Config(VirtKind kind, int databases) {
+  MultiInstanceConfig cfg;
+  cfg.machine = sim::MachineSpec::Server1();
+  cfg.kind = kind;
+  cfg.databases = databases;
+  return cfg;
+}
+
+TEST(MultiInstanceTest, RamPartitioning) {
+  // 32 GB machine, 8 tenants.
+  const MultiInstanceServer hw(Config(VirtKind::kHardwareVm, 8), 1);
+  const MultiInstanceServer os(Config(VirtKind::kOsVirt, 8), 1);
+  const MultiInstanceServer one(Config(VirtKind::kConsolidatedDbms, 8), 1);
+  // Hardware VMs pay OS+DBMS overhead per tenant; OS virt shares the OS;
+  // the consolidated instance pays one overhead total.
+  EXPECT_LT(hw.pool_bytes_per_instance(), os.pool_bytes_per_instance());
+  EXPECT_GT(one.pool_bytes_per_instance(), 8 * os.pool_bytes_per_instance());
+  // Per-VM pool: 4 GB minus ~254 MB of overheads.
+  EXPECT_NEAR(static_cast<double>(hw.pool_bytes_per_instance()) / util::kGiB, 3.75,
+              0.1);
+}
+
+TEST(MultiInstanceTest, InstanceTopology) {
+  MultiInstanceServer hw(Config(VirtKind::kHardwareVm, 4), 1);
+  EXPECT_EQ(hw.num_instances(), 4);
+  MultiInstanceServer one(Config(VirtKind::kConsolidatedDbms, 4), 1);
+  EXPECT_EQ(one.num_instances(), 1);
+  // All tenants map to the single instance.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(&one.instance_of(i), &one.instance(0));
+    EXPECT_NE(one.database(i), nullptr);
+  }
+}
+
+VmRunResult RunTpcc(VirtKind kind, int databases, int warehouses, double tps_each,
+                    double seconds = 10.0) {
+  MultiInstanceServer server(Config(kind, databases), 5);
+  VmDriver driver(&server, 5);
+  std::vector<std::unique_ptr<workload::TpccWorkload>> loads;
+  for (int i = 0; i < databases; ++i) {
+    loads.push_back(std::make_unique<workload::TpccWorkload>(
+        "t" + std::to_string(i), warehouses,
+        std::make_shared<workload::FlatPattern>(tps_each)));
+    driver.AttachWorkload(i, loads.back().get());
+  }
+  driver.Warm();
+  driver.Run(2.0);  // settle
+  return driver.Run(seconds);
+}
+
+TEST(VmComparisonTest, ConsolidatedBeatsHardwareVmAtHighDensity) {
+  // 20 tenants on one machine (the Figure 10 setting, scaled down in time).
+  const VmRunResult vm = RunTpcc(VirtKind::kHardwareVm, 20, 2, 12.0);
+  const VmRunResult consolidated = RunTpcc(VirtKind::kConsolidatedDbms, 20, 2, 12.0);
+  EXPECT_GT(consolidated.mean_total_tps, 2.0 * vm.mean_total_tps);
+}
+
+TEST(VmComparisonTest, OsVirtBetweenVmAndConsolidated) {
+  const VmRunResult vm = RunTpcc(VirtKind::kHardwareVm, 16, 2, 12.0, 6.0);
+  const VmRunResult os = RunTpcc(VirtKind::kOsVirt, 16, 2, 12.0, 6.0);
+  const VmRunResult one = RunTpcc(VirtKind::kConsolidatedDbms, 16, 2, 12.0, 6.0);
+  EXPECT_GE(os.mean_total_tps, vm.mean_total_tps * 0.95);
+  EXPECT_GT(one.mean_total_tps, os.mean_total_tps);
+}
+
+TEST(VmComparisonTest, LowDensityRoughlyEqual) {
+  // With 2 tenants everything fits everywhere: the approaches should be
+  // within ~25% of each other.
+  const VmRunResult vm = RunTpcc(VirtKind::kHardwareVm, 2, 2, 20.0, 6.0);
+  const VmRunResult one = RunTpcc(VirtKind::kConsolidatedDbms, 2, 2, 20.0, 6.0);
+  EXPECT_NEAR(vm.mean_total_tps / one.mean_total_tps, 1.0, 0.25);
+}
+
+TEST(VmComparisonTest, SkewedLoadHandled) {
+  // 7 throttled tenants + 1 fast one (Figure 10 right panel, scaled).
+  MultiInstanceServer server(Config(VirtKind::kConsolidatedDbms, 8), 5);
+  VmDriver driver(&server, 5);
+  std::vector<std::unique_ptr<workload::TpccWorkload>> loads;
+  for (int i = 0; i < 8; ++i) {
+    const double tps = i == 0 ? 200.0 : 1.0;
+    loads.push_back(std::make_unique<workload::TpccWorkload>(
+        "t" + std::to_string(i), 2, std::make_shared<workload::FlatPattern>(tps)));
+    driver.AttachWorkload(i, loads.back().get());
+  }
+  driver.Warm();
+  const VmRunResult res = driver.Run(8.0);
+  // The fast tenant dominates total throughput; the slow ones stay alive.
+  EXPECT_GT(res.per_db_mean_tps[0], 100.0);
+  for (int i = 1; i < 8; ++i) EXPECT_GE(res.per_db_mean_tps[i], 0.5);
+}
+
+}  // namespace
+}  // namespace kairos::vm

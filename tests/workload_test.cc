@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/server.h"
+#include "util/units.h"
+#include "workload/driver.h"
+#include "workload/micro.h"
+#include "workload/patterns.h"
+#include "workload/tpcc.h"
+#include "workload/wikipedia.h"
+
+namespace kairos::workload {
+namespace {
+
+TEST(PatternsTest, Flat) {
+  FlatPattern p(42);
+  EXPECT_DOUBLE_EQ(p.RateAt(0), 42);
+  EXPECT_DOUBLE_EQ(p.RateAt(1e6), 42);
+}
+
+TEST(PatternsTest, SinusoidBounds) {
+  SinusoidPattern p(100, 50, 3600);
+  for (double t = 0; t < 7200; t += 100) {
+    EXPECT_GE(p.RateAt(t), 50 - 1e-9);
+    EXPECT_LE(p.RateAt(t), 150 + 1e-9);
+  }
+  // Mean over a full period is the mean parameter.
+  double sum = 0;
+  const int n = 3600;
+  for (int i = 0; i < n; ++i) sum += p.RateAt(i);
+  EXPECT_NEAR(sum / n, 100, 1.0);
+}
+
+TEST(PatternsTest, SinusoidClampsNegative) {
+  SinusoidPattern p(10, 50, 100);
+  double min_v = 1e9;
+  for (double t = 0; t < 100; t += 1) min_v = std::min(min_v, p.RateAt(t));
+  EXPECT_DOUBLE_EQ(min_v, 0.0);
+}
+
+TEST(PatternsTest, SawtoothRamp) {
+  SawtoothPattern p(0, 100, 100);
+  EXPECT_DOUBLE_EQ(p.RateAt(0), 0);
+  EXPECT_DOUBLE_EQ(p.RateAt(50), 50);
+  EXPECT_NEAR(p.RateAt(99), 99, 1e-9);
+  EXPECT_DOUBLE_EQ(p.RateAt(100), 0);  // resets
+}
+
+TEST(PatternsTest, SquareAlternates) {
+  SquarePattern p(10, 90, 100);
+  EXPECT_DOUBLE_EQ(p.RateAt(10), 10);
+  EXPECT_DOUBLE_EQ(p.RateAt(60), 90);
+  EXPECT_DOUBLE_EQ(p.RateAt(110), 10);
+}
+
+TEST(PatternsTest, BurstyWindows) {
+  BurstyPattern p(5, 500, 100, 0.1);
+  EXPECT_DOUBLE_EQ(p.RateAt(5), 500);   // within the burst
+  EXPECT_DOUBLE_EQ(p.RateAt(50), 5);    // baseline
+}
+
+TEST(TpccTest, ScalesWithWarehouses) {
+  auto pattern = std::make_shared<FlatPattern>(10);
+  TpccWorkload w5("t5", 5, pattern);
+  TpccWorkload w10("t10", 10, pattern);
+  EXPECT_EQ(w10.WorkingSetBytes(), 2 * w5.WorkingSetBytes());
+  EXPECT_EQ(w10.DataSizeBytes(), 2 * w5.DataSizeBytes());
+  // Paper: 120-150 MB working set per warehouse.
+  EXPECT_GE(w5.WorkingSetBytes() / 5, 120 * util::kMiB);
+  EXPECT_LE(w5.WorkingSetBytes() / 5, 150 * util::kMiB);
+}
+
+TEST(TpccTest, ProfileShape) {
+  const db::TxProfile p = TpccWorkload::Profile();
+  EXPECT_GT(p.update_rows, 5);   // write-heavy OLTP
+  EXPECT_GT(p.read_rows, p.update_rows);
+  EXPECT_GT(p.base_latency_ms, 10);
+}
+
+TEST(WikipediaTest, ReadMostly) {
+  const db::TxProfile p = WikipediaWorkload::Profile();
+  EXPECT_LT(p.update_rows, 1.0);  // ~8% writes
+  EXPECT_GT(p.read_rows / (p.read_rows + p.update_rows), 0.9);
+}
+
+TEST(WikipediaTest, ScaleMatchesPaper) {
+  auto pattern = std::make_shared<FlatPattern>(10);
+  WikipediaWorkload w("wiki", 100, pattern);
+  // 100K pages: 67 GB data, 2.2 GB working set.
+  EXPECT_NEAR(static_cast<double>(w.DataSizeBytes()) / util::kGiB, 67.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(w.WorkingSetBytes()) / util::kGiB, 2.2, 0.1);
+}
+
+TEST(MicroTest, BatchHonorsPattern) {
+  sim::MachineSpec machine = sim::MachineSpec::Server1();
+  db::Server server(machine, db::DbmsConfig{}, 3);
+  MicroSpec spec;
+  spec.data_bytes = 32 * util::kMiB;
+  spec.working_set_bytes = 16 * util::kMiB;
+  spec.pattern = std::make_shared<FlatPattern>(100);
+  MicroWorkload w("m", spec);
+  Driver driver(&server, 3);
+  driver.AddWorkload(&w);
+  util::Rng rng(1);
+  double total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    total += static_cast<double>(w.MakeBatch(0.0, 0.1, rng).transactions);
+  }
+  EXPECT_NEAR(total / 1000.0, 10.0, 1.0);  // ~10 tx per 0.1s tick
+}
+
+TEST(DriverTest, TimeAdvancesAcrossRuns) {
+  db::Server server(sim::MachineSpec::Server1(), db::DbmsConfig{}, 3);
+  MicroSpec spec;
+  spec.data_bytes = 32 * util::kMiB;
+  spec.working_set_bytes = 16 * util::kMiB;
+  spec.pattern = std::make_shared<FlatPattern>(50);
+  MicroWorkload w("m", spec);
+  Driver driver(&server, 3);
+  driver.AddWorkload(&w);
+  driver.Run(2.0);
+  const double t1 = server.now();
+  driver.Run(3.0);
+  EXPECT_NEAR(server.now() - t1, 3.0, 1e-9);
+}
+
+TEST(DriverTest, SampleWindowsCoverDuration) {
+  db::Server server(sim::MachineSpec::Server1(), db::DbmsConfig{}, 3);
+  MicroSpec spec;
+  spec.data_bytes = 32 * util::kMiB;
+  spec.working_set_bytes = 16 * util::kMiB;
+  spec.pattern = std::make_shared<FlatPattern>(50);
+  MicroWorkload w("m", spec);
+  Driver driver(&server, 3);
+  driver.AddWorkload(&w);
+  const RunResult res = driver.Run(10.0, 2.0);
+  EXPECT_EQ(res.workloads.front().tps.size(), 5u);
+  EXPECT_EQ(res.server.write_mbps.size(), 5u);
+}
+
+TEST(DriverTest, TimeVaryingLoadTracked) {
+  db::Server server(sim::MachineSpec::Server1(), db::DbmsConfig{}, 3);
+  MicroSpec spec;
+  spec.data_bytes = 32 * util::kMiB;
+  spec.working_set_bytes = 16 * util::kMiB;
+  spec.pattern = std::make_shared<SquarePattern>(20, 200, 10.0);
+  MicroWorkload w("sq", spec);
+  Driver driver(&server, 3);
+  driver.AddWorkload(&w);
+  driver.Warm();
+  const RunResult res = driver.Run(10.0, 1.0);
+  const auto& tps = res.workloads.front().tps;
+  // First half ~20 tps, second half ~200 tps.
+  EXPECT_LT(tps.at(1), 60);
+  EXPECT_GT(tps.at(7), 120);
+}
+
+}  // namespace
+}  // namespace kairos::workload
