@@ -7,11 +7,17 @@
 // Wikia statistics — over 33 min unbounded vs 44 s bounded) at equal or
 // better solution quality, and all individual datasets solve within
 // minutes.
+// Also compares the solver portfolio (src/solve/) at 1/2/4 threads against
+// the single engine on the same problems: the portfolio should match or
+// beat the engine's objective, and adding threads should cut wall-clock
+// versus running the same solvers sequentially.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "solve/portfolio.h"
 #include "trace/dataset.h"
 #include "util/table.h"
 
@@ -68,5 +74,50 @@ int main() {
   std::printf("\n'!' marks an infeasible result. Expected: bounded-K much "
               "faster at equal-or-fewer servers (paper: up to 45x; all "
               "individual datasets under 8 minutes).\n");
+
+  bench::Banner("Solver portfolio {greedy, engine, anneal, tabu}: threads vs. "
+                "single engine");
+
+  util::Table portfolio_table({"dataset", "engine obj", "engine (s)",
+                               "portfolio obj", "winner", "1-thr (s)",
+                               "2-thr (s)", "4-thr (s)", "4-thr speedup"});
+  for (auto kind : trace::AllDatasets()) {
+    const auto traces = gen.Generate(kind);
+    core::ConsolidationProblem prob;
+    prob.workloads = trace::ToProfiles(traces);
+    prob.disk_model = &disk_model;
+
+    const double t0 = Now();
+    const auto engine_plan =
+        core::ConsolidationEngine(prob, core::EngineOptions{}).Solve();
+    const double engine_s = Now() - t0;
+
+    const auto specs = solve::PortfolioRunner::DefaultSpecs(bench::kSeed);
+    double seconds[3] = {0, 0, 0};
+    solve::PortfolioResult result;
+    const int thread_counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      solve::PortfolioOptions options;
+      options.threads = thread_counts[i];
+      const auto r = solve::PortfolioRunner(options).Run(prob, specs);
+      seconds[i] = r.wall_seconds;
+      result = r;  // same specs + seeds -> same plans at every thread count
+    }
+
+    portfolio_table.AddRow(
+        {trace::DatasetName(kind), util::FormatDouble(engine_plan.objective, 1),
+         util::FormatDouble(engine_s, 2),
+         util::FormatDouble(result.best.objective, 1) +
+             (result.best.feasible ? "" : "!"),
+         result.winner, util::FormatDouble(seconds[0], 2),
+         util::FormatDouble(seconds[1], 2), util::FormatDouble(seconds[2], 2),
+         util::FormatDouble(seconds[0] / std::max(1e-3, seconds[2]), 1) + "x"});
+  }
+  std::printf("%s", portfolio_table.ToString().c_str());
+  std::printf("\nExpected: portfolio objective <= engine objective on every "
+              "dataset, and — on a multi-core host — 4 threads well under "
+              "the 1-thread (sequential) wall-clock. Detected hardware "
+              "threads: %u (speedups flatten to ~1x on a single core).\n",
+              std::thread::hardware_concurrency());
   return 0;
 }

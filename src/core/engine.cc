@@ -106,6 +106,7 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
 
 bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
   if (k < 1) return false;
+  if (options_.should_stop && options_.should_stop()) return false;
   util::Rng rng(options_.seed ^ (0x9E37ULL * static_cast<uint64_t>(k)));
 
   // 1. Multi-resource greedy restricted to k servers, then local search.
@@ -162,6 +163,16 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   Assignment best;
   int best_k = -1;
 
+  const auto broadcast = [this](const Assignment& a, int k) {
+    if (!options_.on_incumbent) return;
+    Evaluator ev(problem_, k);
+    ev.Load(a.server_of_slot);
+    options_.on_incumbent(a, ev.current_cost(), ev.IsFeasible());
+  };
+  const auto stop_requested = [this] {
+    return options_.should_stop && options_.should_stop();
+  };
+
   if (options_.use_bounded_k) {
     // Binary search for the smallest feasible K' (Section 6).
     // First make sure the upper bound actually works.
@@ -169,13 +180,15 @@ ConsolidationPlan ConsolidationEngine::Solve() {
     if (ProbeK(upper, options_.probe_direct_evaluations, &a)) {
       best = a;
       best_k = upper;
+      broadcast(best, best_k);
       int lo = lower, hi = upper;
-      while (lo < hi) {
+      while (lo < hi && !stop_requested()) {
         const int mid = lo + (hi - lo) / 2;
         Assignment mid_a;
         if (ProbeK(mid, options_.probe_direct_evaluations, &mid_a)) {
           best = mid_a;
           best_k = mid;
+          broadcast(best, best_k);
           hi = mid;
         } else {
           lo = mid + 1;
@@ -183,11 +196,12 @@ ConsolidationPlan ConsolidationEngine::Solve() {
       }
     } else {
       // Relax upward until something fits.
-      for (int k = upper + 1; k <= hard_cap; ++k) {
+      for (int k = upper + 1; k <= hard_cap && !stop_requested(); ++k) {
         Assignment a2;
         if (ProbeK(k, options_.probe_direct_evaluations, &a2)) {
           best = a2;
           best_k = k;
+          broadcast(best, best_k);
           break;
         }
       }
@@ -213,51 +227,79 @@ ConsolidationPlan ConsolidationEngine::Solve() {
     best_k = hard_cap;
   }
 
-  // Final polish at K' with the full budget: DIRECT for global moves, then
-  // local search, keeping the best feasible incumbent.
-  {
-    util::Rng rng(options_.seed + 17);
-    Evaluator ev(problem_, best_k);
-    ev.Load(best.server_of_slot);
-    LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng);
-    double best_cost = ev.current_cost();
-    std::vector<int> best_assign = ev.assignment();
-    const bool best_feasible = ev.IsFeasible();
-
-    if (options_.use_bounded_k) {
-      int evals = 0;
-      Assignment polished =
-          RunDirect(best_k, options_.direct_evaluations, -1e300, &evals);
-      evaluations_ += evals;
-      Evaluator ev2(problem_, best_k);
-      ev2.Load(polished.server_of_slot);
-      LocalSearch(&ev2, options_.local_search_max_sweeps, &rng);
-      if (ev2.current_cost() < best_cost && (ev2.IsFeasible() || !best_feasible)) {
-        best_cost = ev2.current_cost();
-        best_assign = ev2.assignment();
-      }
-    }
-
-    // Load the winner for reporting.
-    Evaluator final_ev(problem_, best_k);
-    final_ev.Load(best_assign);
-    plan.assignment.server_of_slot = best_assign;
-    plan.feasible = final_ev.IsFeasible();
-    plan.objective = final_ev.current_cost();
-    plan.servers_used = plan.assignment.ServersUsed();
-    plan.consolidation_ratio =
-        plan.servers_used > 0
-            ? static_cast<double>(num_slots) / static_cast<double>(plan.servers_used)
-            : 0.0;
-    for (int j = 0; j < best_k; ++j) {
-      Evaluator::ServerLoad load = final_ev.GetServerLoad(j);
-      if (load.used) plan.server_loads.push_back(std::move(load));
-    }
-  }
+  // Final polish at K' with the full budget. PolishPlan reports from
+  // scratch, so carry over the bound fields computed above.
+  ConsolidationPlan polished = PolishPlan(best, best_k);
+  polished.fractional_lower_bound = plan.fractional_lower_bound;
+  polished.greedy_servers = plan.greedy_servers;
+  plan = std::move(polished);
 
   plan.solver_evaluations = evaluations_;
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return plan;
+}
+
+ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, int k) {
+  // When the race is already over, skip the polish entirely: report the
+  // incumbent as-is so the portfolio can join quickly.
+  if (options_.should_stop && options_.should_stop()) {
+    ConsolidationPlan plan = FinalizePlan(problem_, incumbent.server_of_slot, k);
+    if (options_.on_incumbent) {
+      options_.on_incumbent(plan.assignment, plan.objective, plan.feasible);
+    }
+    return plan;
+  }
+
+  // DIRECT for global moves, then local search, keeping the best feasible
+  // incumbent.
+  util::Rng rng(options_.seed + 17);
+  Evaluator ev(problem_, k);
+  ev.Load(incumbent.server_of_slot);
+  LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng);
+  double best_cost = ev.current_cost();
+  std::vector<int> best_assign = ev.assignment();
+  const bool best_feasible = ev.IsFeasible();
+
+  if (options_.use_bounded_k &&
+      !(options_.should_stop && options_.should_stop())) {
+    int evals = 0;
+    Assignment polished = RunDirect(k, options_.direct_evaluations, -1e300, &evals);
+    evaluations_ += evals;
+    Evaluator ev2(problem_, k);
+    ev2.Load(polished.server_of_slot);
+    LocalSearch(&ev2, options_.local_search_max_sweeps, &rng);
+    if (ev2.current_cost() < best_cost && (ev2.IsFeasible() || !best_feasible)) {
+      best_cost = ev2.current_cost();
+      best_assign = ev2.assignment();
+    }
+  }
+
+  ConsolidationPlan plan = FinalizePlan(problem_, best_assign, k);
+  if (options_.on_incumbent) {
+    options_.on_incumbent(plan.assignment, plan.objective, plan.feasible);
+  }
+  return plan;
+}
+
+ConsolidationPlan FinalizePlan(const ConsolidationProblem& problem,
+                               const std::vector<int>& assignment, int k) {
+  ConsolidationPlan plan;
+  Evaluator final_ev(problem, k);
+  final_ev.Load(assignment);
+  plan.assignment.server_of_slot = assignment;
+  plan.feasible = final_ev.IsFeasible();
+  plan.objective = final_ev.current_cost();
+  plan.servers_used = plan.assignment.ServersUsed();
+  const int num_slots = problem.TotalSlots();
+  plan.consolidation_ratio =
+      plan.servers_used > 0
+          ? static_cast<double>(num_slots) / static_cast<double>(plan.servers_used)
+          : 0.0;
+  for (int j = 0; j < k; ++j) {
+    Evaluator::ServerLoad load = final_ev.GetServerLoad(j);
+    if (load.used) plan.server_loads.push_back(std::move(load));
+  }
   return plan;
 }
 

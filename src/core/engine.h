@@ -7,6 +7,7 @@
 #define KAIROS_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,16 @@ struct EngineOptions {
   bool use_bounded_k = true;
   /// DIRECT local/global balance.
   double direct_epsilon = 1e-3;
+
+  /// Called whenever the engine improves its incumbent (after each
+  /// successful feasibility probe and after the final polish). Lets a
+  /// portfolio runner broadcast partial results while the solve is still
+  /// running. May be empty.
+  std::function<void(const Assignment&, double objective, bool feasible)>
+      on_incumbent;
+  /// Polled between probe/polish phases; returning true aborts the solve
+  /// early with the best incumbent found so far. May be empty.
+  std::function<bool()> should_stop;
 };
 
 /// Output of one engine run.
@@ -66,6 +77,12 @@ class ConsolidationEngine {
   /// the probe budget. Exposed for the solver-performance experiments.
   bool ProbeK(int k, int direct_budget, Assignment* out);
 
+  /// The final polish phase: local search around `incumbent` at `k`
+  /// servers (plus a DIRECT pass when bounded-K is enabled), returning the
+  /// fully reported plan. Exposed so portfolio solvers can polish a seed
+  /// produced elsewhere.
+  ConsolidationPlan PolishPlan(const Assignment& incumbent, int k);
+
  private:
   /// First-improvement local search with an extra swap pass.
   void LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng);
@@ -80,6 +97,12 @@ class ConsolidationEngine {
   EngineOptions options_;
   int evaluations_ = 0;
 };
+
+/// Evaluates `assignment` at `k` servers and fills a fully reported plan
+/// (feasibility, objective, ratio, per-server loads). Shared by the engine
+/// and the solve/ portfolio so every solver reports plans identically.
+ConsolidationPlan FinalizePlan(const ConsolidationProblem& problem,
+                               const std::vector<int>& assignment, int k);
 
 }  // namespace kairos::core
 

@@ -1,0 +1,48 @@
+// Portfolio adapters wrapping the pre-existing placers behind the Solver
+// interface: the paper's greedy baselines (Section 6) and the full
+// bounded-K DIRECT consolidation engine (Sections 5-6).
+#ifndef KAIROS_SOLVE_ADAPTERS_H_
+#define KAIROS_SOLVE_ADAPTERS_H_
+
+#include "solve/solver.h"
+
+namespace kairos::solve {
+
+/// core::GreedyBaseline — the paper's single-resource greedy comparison
+/// baseline (tries each resource, keeps the best feasible packing).
+class GreedyBaselineSolver : public Solver {
+ public:
+  std::string name() const override { return "greedy"; }
+  core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                const SolveBudget& budget,
+                                SharedIncumbent* incumbent) override;
+};
+
+/// core::GreedyMultiResource — the multi-resource greedy used to seed the
+/// engine. Always completes; may be infeasible.
+class GreedyMultiSolver : public Solver {
+ public:
+  std::string name() const override { return "greedy-multi"; }
+  core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                const SolveBudget& budget,
+                                SharedIncumbent* incumbent) override;
+};
+
+/// core::ConsolidationEngine — bounded-K binary search over DIRECT probes
+/// plus local-search polish. Streams probe incumbents to the shared
+/// incumbent and honours its stop flag between phases.
+class EngineSolver : public Solver {
+ public:
+  explicit EngineSolver(uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "engine"; }
+  core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                const SolveBudget& budget,
+                                SharedIncumbent* incumbent) override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace kairos::solve
+
+#endif  // KAIROS_SOLVE_ADAPTERS_H_

@@ -1,0 +1,98 @@
+#include "solve/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "util/rng.h"
+
+namespace kairos::solve {
+
+core::ConsolidationPlan AnnealingSolver::Solve(
+    const core::ConsolidationProblem& problem, const SolveBudget& budget,
+    SharedIncumbent* incumbent) {
+  const int cap = HardCap(problem);
+  util::Rng rng(seed_);
+
+  bool clean = false;
+  const core::Assignment seed_assignment =
+      core::GreedyMultiResource(problem, cap, &clean);
+
+  core::Evaluator ev(problem, cap);
+  ev.Load(seed_assignment.server_of_slot);
+  const int slots = ev.num_slots();
+
+  std::vector<int> best = ev.assignment();
+  double best_cost = ev.current_cost();
+  bool best_feasible = ev.IsFeasible();
+  if (incumbent) {
+    incumbent->Offer(best, best_cost, best_feasible, name());
+  }
+  if (slots < 2 || cap < 2) {
+    return core::FinalizePlan(problem, best, cap);
+  }
+
+  const auto record_if_best = [&] {
+    const bool feasible = ev.IsFeasible();
+    if ((feasible && !best_feasible) ||
+        (feasible == best_feasible && ev.current_cost() < best_cost)) {
+      best = ev.assignment();
+      best_cost = ev.current_cost();
+      best_feasible = feasible;
+      if (incumbent) incumbent->Offer(best, best_cost, best_feasible, name());
+    }
+  };
+
+  // Temperature scaled to the seed cost so acceptance behaves consistently
+  // across problem sizes (the objective spans orders of magnitude between
+  // feasible and penalized regions).
+  double temperature = std::max(
+      1.0, options_.initial_temp_fraction * std::abs(ev.current_cost()));
+  const int epoch = std::max(1, options_.epoch_slots_factor * slots);
+
+  for (int it = 0; it < budget.max_iterations; ++it) {
+    if (incumbent && it % options_.stop_poll_interval == 0 &&
+        incumbent->ShouldStop()) {
+      break;
+    }
+    if (it > 0 && it % epoch == 0) temperature *= options_.cooling;
+
+    if (rng.NextDouble() < options_.swap_probability) {
+      // Swap the servers of two unpinned slots.
+      const int a = static_cast<int>(rng.UniformInt(0, slots - 1));
+      const int b = static_cast<int>(rng.UniformInt(0, slots - 1));
+      if (a == b) continue;
+      if (ev.PinOfSlot(a) >= 0 || ev.PinOfSlot(b) >= 0) continue;
+      const int sa = ev.assignment()[a];
+      const int sb = ev.assignment()[b];
+      if (sa == sb) continue;
+      const double before = ev.current_cost();
+      ev.ApplyMove(a, sb);
+      ev.ApplyMove(b, sa);
+      const double delta = ev.current_cost() - before;
+      if (delta <= 0) {
+        record_if_best();
+      } else if (rng.NextDouble() >= std::exp(-delta / temperature)) {
+        ev.ApplyMove(b, sb);  // reject: roll back
+        ev.ApplyMove(a, sa);
+      }
+    } else {
+      // Relocate one unpinned slot to a random other server.
+      const int slot = static_cast<int>(rng.UniformInt(0, slots - 1));
+      if (ev.PinOfSlot(slot) >= 0) continue;
+      const int from = ev.assignment()[slot];
+      int to = static_cast<int>(rng.UniformInt(0, cap - 2));
+      if (to >= from) ++to;  // uniform over servers != from
+      const double delta = ev.MoveDelta(slot, to);
+      if (delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature)) {
+        ev.ApplyMove(slot, to);
+        if (delta <= 0) record_if_best();
+      }
+    }
+  }
+
+  return core::FinalizePlan(problem, best, cap);
+}
+
+}  // namespace kairos::solve

@@ -1,0 +1,46 @@
+// Simulated annealing over Assignment moves (relocate + swap), seeded from
+// the multi-resource greedy and scored by the incremental core::Evaluator.
+// A cheap, derivative-free complement to the DIRECT engine in the
+// portfolio: it explores the discrete move space directly instead of going
+// through the continuous encoding.
+#ifndef KAIROS_SOLVE_ANNEALING_H_
+#define KAIROS_SOLVE_ANNEALING_H_
+
+#include "solve/solver.h"
+
+namespace kairos::solve {
+
+/// Geometric-cooling SA. Never returns a plan worse than its greedy seed:
+/// the best-ever assignment (which starts at the seed) is what is reported.
+class AnnealingSolver : public Solver {
+ public:
+  struct Options {
+    /// Initial acceptance temperature as a fraction of the seed cost.
+    double initial_temp_fraction = 0.02;
+    /// Geometric cooling rate applied once per epoch.
+    double cooling = 0.95;
+    /// Moves per epoch, as a multiple of the slot count.
+    int epoch_slots_factor = 8;
+    /// Probability of proposing a swap instead of a relocation.
+    double swap_probability = 0.25;
+    /// ShouldStop() poll interval, in moves.
+    int stop_poll_interval = 256;
+  };
+
+  explicit AnnealingSolver(uint64_t seed) : seed_(seed) {}
+  AnnealingSolver(uint64_t seed, const Options& options)
+      : seed_(seed), options_(options) {}
+
+  std::string name() const override { return "anneal"; }
+  core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                const SolveBudget& budget,
+                                SharedIncumbent* incumbent) override;
+
+ private:
+  uint64_t seed_;
+  Options options_;
+};
+
+}  // namespace kairos::solve
+
+#endif  // KAIROS_SOLVE_ANNEALING_H_

@@ -1,0 +1,45 @@
+#include "solve/shared_incumbent.h"
+
+namespace kairos::solve {
+
+SharedIncumbent::SharedIncumbent(double target_objective)
+    : target_objective_(target_objective) {}
+
+bool SharedIncumbent::Offer(const std::vector<int>& assignment,
+                            double objective, bool feasible,
+                            const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offers_;
+  const bool improves =
+      !best_.valid || (feasible && !best_.feasible) ||
+      (feasible == best_.feasible && objective < best_.objective);
+  if (improves) {
+    best_.valid = true;
+    best_.assignment = assignment;
+    best_.objective = objective;
+    best_.feasible = feasible;
+    best_.source = source;
+    ++improvements_;
+  }
+  if (feasible && objective <= target_objective_) {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  return improves;
+}
+
+SharedIncumbent::Snapshot SharedIncumbent::Best() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_;
+}
+
+int SharedIncumbent::offers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offers_;
+}
+
+int SharedIncumbent::improvements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return improvements_;
+}
+
+}  // namespace kairos::solve

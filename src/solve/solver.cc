@@ -1,0 +1,83 @@
+#include "solve/solver.h"
+
+#include <algorithm>
+
+#include "solve/adapters.h"
+#include "solve/annealing.h"
+#include "solve/tabu.h"
+
+namespace kairos::solve {
+
+int HardCap(const core::ConsolidationProblem& problem) {
+  return problem.max_servers > 0 ? problem.max_servers : problem.TotalSlots();
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  // Built-ins are registered here, not via static self-registration objects:
+  // those get dead-stripped out of static libraries.
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    r->Register("greedy", [](uint64_t) {
+      return std::make_unique<GreedyBaselineSolver>();
+    });
+    r->Register("greedy-multi", [](uint64_t) {
+      return std::make_unique<GreedyMultiSolver>();
+    });
+    r->Register("engine", [](uint64_t seed) {
+      return std::make_unique<EngineSolver>(seed);
+    });
+    r->Register("anneal", [](uint64_t seed) {
+      return std::make_unique<AnnealingSolver>(seed);
+    });
+    r->Register("tabu", [](uint64_t seed) {
+      return std::make_unique<TabuSolver>(seed);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+bool SolverRegistry::Register(const std::string& name, SolverFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ContainsLocked(name)) return false;
+  entries_.emplace_back(name, std::move(factory));
+  return true;
+}
+
+std::unique_ptr<Solver> SolverRegistry::Create(const std::string& name,
+                                               uint64_t seed) const {
+  SolverFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, f] : entries_) {
+      if (key == name) {
+        factory = f;
+        break;
+      }
+    }
+  }
+  return factory ? factory(seed) : nullptr;
+}
+
+bool SolverRegistry::ContainsLocked(const std::string& name) const {
+  for (const auto& [key, factory] : entries_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContainsLocked(name);
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, factory] : entries_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace kairos::solve

@@ -1,0 +1,92 @@
+// The pluggable Placer interface of the solver portfolio (ROADMAP: race
+// multiple strategies instead of betting on one algorithm, in the spirit of
+// solver-portfolio architectures). A Solver turns a ConsolidationProblem
+// into a ConsolidationPlan within a budget, publishing incumbents to a
+// SharedIncumbent so sibling solvers can early-stop.
+//
+// Implementations must be deterministic: the returned plan is a pure
+// function of (problem, budget, seed). The incumbent is write/poll-only
+// (see shared_incumbent.h), so thread scheduling never changes results.
+#ifndef KAIROS_SOLVE_SOLVER_H_
+#define KAIROS_SOLVE_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/problem.h"
+#include "solve/shared_incumbent.h"
+
+namespace kairos::solve {
+
+/// Work limits for one Solve() call. Iteration/evaluation budgets (not
+/// wall-clock) so results are machine-independent and reproducible.
+struct SolveBudget {
+  /// Move budget for the metaheuristics (SA, tabu).
+  int max_iterations = 30000;
+  /// DIRECT evaluation budget for the engine adapter's final solve.
+  int direct_evaluations = 4000;
+  /// DIRECT evaluation budget per engine feasibility probe.
+  int probe_direct_evaluations = 800;
+  /// Local-search sweep cap for the engine adapter.
+  int local_search_max_sweeps = 60;
+};
+
+/// Upper bound on server indices a solver may use (the problem's
+/// max_servers, or one server per slot when unset).
+int HardCap(const core::ConsolidationProblem& problem);
+
+/// A portfolio member. Implementations should poll
+/// `incumbent->ShouldStop()` periodically and return their best-so-far when
+/// it fires, and publish improving plans via `incumbent->Offer()`.
+/// `incumbent` may be null for standalone use.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry key / report label.
+  virtual std::string name() const = 0;
+
+  virtual core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                        const SolveBudget& budget,
+                                        SharedIncumbent* incumbent) = 0;
+};
+
+/// Builds a solver from a deterministic seed.
+using SolverFactory = std::function<std::unique_ptr<Solver>(uint64_t seed)>;
+
+/// String-keyed solver factory registry. Global() comes pre-populated with
+/// the built-ins: "greedy", "greedy-multi", "engine", "anneal", "tabu".
+/// Thread-safe: registration and lookup may race with in-flight portfolio
+/// runs.
+class SolverRegistry {
+ public:
+  /// The process-wide registry (built-ins registered on first use).
+  static SolverRegistry& Global();
+
+  /// Registers a factory under `name`; returns false (and leaves the
+  /// existing entry) when the name is taken.
+  bool Register(const std::string& name, SolverFactory factory);
+
+  /// Instantiates `name` with `seed`; null when unknown.
+  std::unique_ptr<Solver> Create(const std::string& name, uint64_t seed) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  bool ContainsLocked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, SolverFactory>> entries_;
+};
+
+}  // namespace kairos::solve
+
+#endif  // KAIROS_SOLVE_SOLVER_H_

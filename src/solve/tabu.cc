@@ -1,0 +1,125 @@
+#include "solve/tabu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/evaluator.h"
+#include "core/greedy.h"
+#include "util/rng.h"
+
+namespace kairos::solve {
+
+core::ConsolidationPlan TabuSolver::Solve(
+    const core::ConsolidationProblem& problem, const SolveBudget& budget,
+    SharedIncumbent* incumbent) {
+  const int cap = HardCap(problem);
+  util::Rng rng(seed_);
+
+  bool clean = false;
+  const core::Assignment seed_assignment =
+      core::GreedyMultiResource(problem, cap, &clean);
+
+  core::Evaluator ev(problem, cap);
+  ev.Load(seed_assignment.server_of_slot);
+  const int slots = ev.num_slots();
+
+  std::vector<int> best = ev.assignment();
+  double best_cost = ev.current_cost();
+  bool best_feasible = ev.IsFeasible();
+  if (incumbent) {
+    incumbent->Offer(best, best_cost, best_feasible, name());
+  }
+  if (slots < 1 || cap < 2) {
+    return core::FinalizePlan(problem, best, cap);
+  }
+
+  // tabu_until[slot * cap + server] > iteration forbids moving `slot` back
+  // onto `server` (set when the slot leaves it).
+  std::vector<int> tabu_until(static_cast<size_t>(slots) * cap, -1);
+  const auto record_if_best = [&] {
+    const bool feasible = ev.IsFeasible();
+    if ((feasible && !best_feasible) ||
+        (feasible == best_feasible && ev.current_cost() < best_cost)) {
+      best = ev.assignment();
+      best_cost = ev.current_cost();
+      best_feasible = feasible;
+      if (incumbent) incumbent->Offer(best, best_cost, best_feasible, name());
+    }
+  };
+
+  // budget.max_iterations counts move evaluations (one MoveDelta each), so
+  // the tabu budget is comparable to SA's regardless of problem size.
+  long evals = 0;
+  const long max_evals = budget.max_iterations;
+  int iteration = 0;
+  int since_improvement = 0;
+
+  bool out_of_budget = false;
+  while (evals < max_evals && !out_of_budget) {
+    ++iteration;
+
+    // Best-improvement scan over all (unpinned slot, server) relocations.
+    // Budget and the shared stop flag are checked inside the scan too: one
+    // scan costs ~slots*cap evaluations, which can dwarf the whole budget
+    // on large problems.
+    double best_delta = std::numeric_limits<double>::infinity();
+    int best_slot = -1, best_to = -1;
+    for (int slot = 0; slot < slots && !out_of_budget; ++slot) {
+      if (evals >= max_evals ||
+          (incumbent && slot % options_.stop_poll_interval == 0 &&
+           incumbent->ShouldStop())) {
+        out_of_budget = true;
+        break;
+      }
+      if (ev.PinOfSlot(slot) >= 0) continue;
+      const int from = ev.assignment()[slot];
+      for (int to = 0; to < cap; ++to) {
+        if (to == from) continue;
+        const double d = ev.MoveDelta(slot, to);
+        ++evals;
+        const bool is_tabu = tabu_until[slot * cap + to] > iteration;
+        // Aspiration: a tabu move is allowed when it beats the best-ever.
+        if (is_tabu && ev.current_cost() + d >= best_cost) continue;
+        if (d < best_delta) {
+          best_delta = d;
+          best_slot = slot;
+          best_to = to;
+        }
+      }
+    }
+    if (best_slot < 0) break;  // everything tabu and nothing aspirates
+
+    const int from = ev.assignment()[best_slot];
+    ev.ApplyMove(best_slot, best_to);
+    const int tenure = options_.tenure +
+                       static_cast<int>(rng.UniformInt(0, options_.tenure_jitter));
+    tabu_until[best_slot * cap + from] = iteration + tenure;
+
+    if (best_delta < -1e-12) {
+      record_if_best();
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+      // Periodic swap kick to leave the current basin.
+      if (options_.kick_interval > 0 &&
+          since_improvement % options_.kick_interval == 0) {
+        const int a = static_cast<int>(rng.UniformInt(0, slots - 1));
+        const int b = static_cast<int>(rng.UniformInt(0, slots - 1));
+        if (a != b && ev.PinOfSlot(a) < 0 && ev.PinOfSlot(b) < 0 &&
+            ev.assignment()[a] != ev.assignment()[b]) {
+          const int sa = ev.assignment()[a];
+          const int sb = ev.assignment()[b];
+          ev.ApplyMove(a, sb);
+          ev.ApplyMove(b, sa);
+          evals += 2;
+          record_if_best();
+        }
+      }
+    }
+  }
+
+  return core::FinalizePlan(problem, best, cap);
+}
+
+}  // namespace kairos::solve

@@ -1,0 +1,251 @@
+#include "solve/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/engine.h"
+#include "core/greedy.h"
+#include "solve/adapters.h"
+#include "solve/annealing.h"
+#include "solve/solver.h"
+#include "solve/tabu.h"
+#include "util/units.h"
+
+namespace kairos::solve {
+namespace {
+
+monitor::WorkloadProfile MakeProfile(const std::string& name, double cpu_cores,
+                                     double ram_gb, int samples = 6) {
+  monitor::WorkloadProfile p;
+  p.name = name;
+  p.cpu_cores = util::TimeSeries::Constant(300, samples, cpu_cores);
+  p.ram_bytes = util::TimeSeries::Constant(300, samples,
+                                           ram_gb * static_cast<double>(util::kGiB));
+  p.update_rows_per_sec = util::TimeSeries::Constant(300, samples, 0.0);
+  p.working_set_bytes = ram_gb * 0.8 * static_cast<double>(util::kGiB);
+  return p;
+}
+
+core::ConsolidationProblem SmallProblem(int n = 6, double cpu = 0.5,
+                                        double ram_gb = 30.0) {
+  core::ConsolidationProblem prob;
+  for (int i = 0; i < n; ++i) {
+    prob.workloads.push_back(MakeProfile("w" + std::to_string(i), cpu, ram_gb));
+  }
+  return prob;
+}
+
+// A heterogeneous problem where greedy packing leaves room to improve.
+core::ConsolidationProblem MixedProblem() {
+  core::ConsolidationProblem prob;
+  for (int i = 0; i < 4; ++i) {
+    prob.workloads.push_back(MakeProfile("big" + std::to_string(i), 3.0, 30.0));
+  }
+  for (int i = 0; i < 8; ++i) {
+    prob.workloads.push_back(MakeProfile("small" + std::to_string(i), 0.3, 6.0));
+  }
+  return prob;
+}
+
+TEST(SolverRegistryTest, BuiltinsRegistered) {
+  auto& registry = SolverRegistry::Global();
+  for (const char* name : {"greedy", "greedy-multi", "engine", "anneal", "tabu"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    auto solver = registry.Create(name, 7);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(SolverRegistry::Global().Create("no-such-solver", 1), nullptr);
+  EXPECT_FALSE(SolverRegistry::Global().Contains("no-such-solver"));
+}
+
+TEST(SolverRegistryTest, CustomRegistrationAndDuplicateRejection) {
+  auto& registry = SolverRegistry::Global();
+  const std::string name = "test-custom-greedy";
+  if (!registry.Contains(name)) {
+    EXPECT_TRUE(registry.Register(name, [](uint64_t) {
+      return std::make_unique<GreedyBaselineSolver>();
+    }));
+  }
+  // Second registration under the same key is rejected.
+  EXPECT_FALSE(registry.Register(name, [](uint64_t) {
+    return std::make_unique<GreedyMultiSolver>();
+  }));
+  EXPECT_NE(registry.Create(name, 1), nullptr);
+}
+
+TEST(SolveAdaptersTest, GreedySolverMatchesGreedyBaseline) {
+  const auto prob = SmallProblem();
+  GreedyBaselineSolver solver;
+  const auto plan = solver.Solve(prob, SolveBudget{}, nullptr);
+  const auto direct = core::GreedyBaseline(prob, HardCap(prob));
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used, direct.servers_used);
+}
+
+TEST(SolveMetaheuristicTest, AnnealNeverWorseThanGreedySeed) {
+  const auto prob = MixedProblem();
+  const int cap = HardCap(prob);
+  bool clean = false;
+  const auto seed = core::GreedyMultiResource(prob, cap, &clean);
+  core::Evaluator ev(prob, cap);
+  const double seed_cost = ev.Evaluate(seed.server_of_slot);
+
+  for (uint64_t s : {1ULL, 2ULL, 42ULL}) {
+    AnnealingSolver sa(s);
+    const auto plan = sa.Solve(prob, SolveBudget{}, nullptr);
+    EXPECT_LE(plan.objective, seed_cost) << "seed " << s;
+  }
+}
+
+TEST(SolveMetaheuristicTest, TabuNeverWorseThanGreedySeed) {
+  const auto prob = MixedProblem();
+  const int cap = HardCap(prob);
+  bool clean = false;
+  const auto seed = core::GreedyMultiResource(prob, cap, &clean);
+  core::Evaluator ev(prob, cap);
+  const double seed_cost = ev.Evaluate(seed.server_of_slot);
+
+  for (uint64_t s : {1ULL, 2ULL, 42ULL}) {
+    TabuSolver tabu(s);
+    const auto plan = tabu.Solve(prob, SolveBudget{}, nullptr);
+    EXPECT_LE(plan.objective, seed_cost) << "seed " << s;
+  }
+}
+
+TEST(SolveMetaheuristicTest, MetaheuristicsFindFeasiblePacking) {
+  // 6 x 30 GB: three fit per 96 GB server -> 2 servers.
+  const auto prob = SmallProblem();
+  SolveBudget budget;
+  AnnealingSolver sa(3);
+  const auto sa_plan = sa.Solve(prob, budget, nullptr);
+  EXPECT_TRUE(sa_plan.feasible);
+  EXPECT_LE(sa_plan.servers_used, 3);
+
+  TabuSolver tabu(3);
+  const auto tabu_plan = tabu.Solve(prob, budget, nullptr);
+  EXPECT_TRUE(tabu_plan.feasible);
+  EXPECT_EQ(tabu_plan.servers_used, 2);
+}
+
+TEST(SharedIncumbentTest, TracksBestAndCounts) {
+  SharedIncumbent incumbent;
+  EXPECT_FALSE(incumbent.Best().valid);
+  EXPECT_TRUE(incumbent.Offer({0, 0}, 10.0, false, "a"));
+  // Feasible beats infeasible even at higher objective.
+  EXPECT_TRUE(incumbent.Offer({0, 1}, 20.0, true, "b"));
+  // Worse feasible does not improve.
+  EXPECT_FALSE(incumbent.Offer({1, 1}, 25.0, true, "c"));
+  EXPECT_TRUE(incumbent.Offer({1, 0}, 5.0, true, "d"));
+  const auto best = incumbent.Best();
+  EXPECT_TRUE(best.valid);
+  EXPECT_EQ(best.source, "d");
+  EXPECT_DOUBLE_EQ(best.objective, 5.0);
+  EXPECT_EQ(incumbent.offers(), 4);
+  EXPECT_EQ(incumbent.improvements(), 3);
+  EXPECT_FALSE(incumbent.ShouldStop());
+}
+
+TEST(SharedIncumbentTest, EarlyStopFiresAtTarget) {
+  SharedIncumbent incumbent(/*target_objective=*/100.0);
+  incumbent.Offer({0}, 150.0, true, "a");
+  EXPECT_FALSE(incumbent.ShouldStop());
+  incumbent.Offer({0}, 90.0, false, "a");  // infeasible: no stop
+  EXPECT_FALSE(incumbent.ShouldStop());
+  incumbent.Offer({0}, 90.0, true, "a");
+  EXPECT_TRUE(incumbent.ShouldStop());
+}
+
+TEST(SharedIncumbentTest, PortfolioEarlyStopsOnTarget) {
+  const auto prob = SmallProblem();
+  // Any feasible 2-server plan has objective just above 2 * kServerCost;
+  // a generous target fires as soon as one is found.
+  PortfolioOptions options;
+  options.target_objective = 3.0 * core::kServerCost;
+  options.budget.max_iterations = 200000000;  // would run long without the stop
+  PortfolioRunner runner(options);
+  const auto result =
+      runner.Run(prob, {{"greedy", 1}, {"anneal", 2}, {"tabu", 3}});
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_LE(result.best.objective, options.target_objective);
+}
+
+TEST(PortfolioTest, BeatsOrMatchesSingleEngine) {
+  const auto prob = MixedProblem();
+  core::EngineOptions engine_options;
+  const auto engine_plan =
+      core::ConsolidationEngine(prob, engine_options).Solve();
+
+  PortfolioRunner runner;
+  const auto result = runner.Run(prob, PortfolioRunner::DefaultSpecs(1));
+  ASSERT_GE(result.winner_index, 0);
+  EXPECT_TRUE(result.best.feasible);
+  EXPECT_LE(result.best.objective, engine_plan.objective);
+  EXPECT_EQ(result.members.size(), 4u);
+}
+
+TEST(PortfolioTest, DeterministicForFixedSeeds) {
+  const auto prob = MixedProblem();
+  const auto specs = PortfolioRunner::DefaultSpecs(7);
+
+  PortfolioOptions two_threads;
+  two_threads.threads = 2;
+  PortfolioOptions four_threads;
+  four_threads.threads = 4;
+
+  const auto r1 = PortfolioRunner(two_threads).Run(prob, specs);
+  const auto r2 = PortfolioRunner(four_threads).Run(prob, specs);
+  const auto r3 = PortfolioRunner(two_threads).Run(prob, specs);
+
+  ASSERT_GE(r1.winner_index, 0);
+  // Byte-identical winning assignment across runs and thread counts.
+  EXPECT_EQ(r1.best.assignment.server_of_slot, r2.best.assignment.server_of_slot);
+  EXPECT_EQ(r1.best.assignment.server_of_slot, r3.best.assignment.server_of_slot);
+  EXPECT_EQ(r1.winner_index, r2.winner_index);
+  EXPECT_EQ(r1.winner, r3.winner);
+  EXPECT_DOUBLE_EQ(r1.best.objective, r2.best.objective);
+  // Per-member plans are deterministic too, not just the winner.
+  for (size_t i = 0; i < r1.members.size(); ++i) {
+    EXPECT_EQ(r1.members[i].plan.assignment.server_of_slot,
+              r2.members[i].plan.assignment.server_of_slot)
+        << specs[i].solver;
+  }
+}
+
+TEST(PortfolioTest, UnknownSolverReportedEmpty) {
+  const auto prob = SmallProblem(3);
+  PortfolioRunner runner;
+  const auto result = runner.Run(prob, {{"greedy", 1}, {"bogus", 2}});
+  ASSERT_EQ(result.members.size(), 2u);
+  EXPECT_EQ(result.winner, "greedy");
+  EXPECT_TRUE(result.members[1].plan.assignment.server_of_slot.empty());
+}
+
+TEST(PortfolioTest, RespectsPinsAndReplicas) {
+  core::ConsolidationProblem prob;
+  prob.workloads.push_back(MakeProfile("r", 0.5, 8.0));
+  prob.workloads.back().replicas = 3;
+  prob.workloads.push_back(MakeProfile("s", 0.5, 8.0));
+  prob.workloads.back().pinned_server = 1;
+  prob.max_servers = 4;
+
+  PortfolioRunner runner;
+  const auto result = runner.Run(prob, PortfolioRunner::DefaultSpecs(5));
+  ASSERT_GE(result.winner_index, 0);
+  EXPECT_TRUE(result.best.feasible);
+  const auto& a = result.best.assignment.server_of_slot;
+  ASSERT_EQ(a.size(), 4u);
+  // Replicas on distinct servers; pin honoured.
+  EXPECT_NE(a[0], a[1]);
+  EXPECT_NE(a[0], a[2]);
+  EXPECT_NE(a[1], a[2]);
+  EXPECT_EQ(a[3], 1);
+}
+
+}  // namespace
+}  // namespace kairos::solve
