@@ -1,0 +1,70 @@
+// The online consolidation control loop end to end:
+//
+//   build/example_online_consolidation [scenario] [steps]
+//
+// Streams a synthetic serving-traffic scenario (stable, diurnal,
+// flash-crowd, node-drain; see src/trace/scenario.h) through the
+// ConsolidationController: telemetry accumulates into rolling profiles,
+// drift triggers migration-aware re-solves warm-started from the incumbent
+// plan, and each re-solve is sequenced into a spill-checked migration plan.
+// Prints the control-event transcript and the final placement.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "online/controller.h"
+#include "trace/scenario.h"
+
+using namespace kairos;
+
+int main(int argc, char** argv) {
+  trace::ScenarioKind kind = trace::ScenarioKind::kDiurnal;
+  if (argc >= 2) {
+    for (auto k : trace::AllScenarios()) {
+      if (trace::ScenarioName(k) == argv[1]) kind = k;
+    }
+  }
+
+  trace::ScenarioConfig scenario_config;
+  scenario_config.seed = 2026;
+  if (argc >= 3) scenario_config.steps = std::atoi(argv[2]);
+  const trace::ScenarioTelemetry scenario =
+      trace::MakeScenario(kind, scenario_config);
+
+  online::ControllerConfig config;
+  config.base.workloads = scenario.profiles;  // metadata template
+  config.num_servers = 4;
+  config.seed = 2026;
+  online::ConsolidationController controller(config);
+
+  std::printf("streaming scenario '%s' (%d workloads, %d steps)\n",
+              trace::ScenarioName(kind).c_str(), scenario_config.workloads,
+              scenario_config.steps);
+
+  online::ReplayFeed feed = online::ReplayFeed::FromProfiles(scenario.profiles);
+  std::vector<online::TelemetrySample> samples;
+  int step = 0;
+  while (feed.Next(&samples)) {
+    if (step == scenario.drain_step) {
+      std::printf("step %03d: draining a server\n", step);
+      controller.DrainHighestServer();
+    }
+    controller.Ingest(samples);
+    ++step;
+  }
+
+  std::printf("\ncontrol transcript (%zu events, %d migration moves total):\n%s",
+              controller.history().size(), controller.total_moves(),
+              controller.RenderHistory().c_str());
+
+  for (size_t i = 0; i < controller.migration_plans().size(); ++i) {
+    const auto& plan = controller.migration_plans()[i];
+    if (plan.total_moves() > 0) {
+      std::printf("\nre-solve %zu %s", i, plan.Render().c_str());
+    }
+  }
+
+  std::printf("\nfinal placement on %d active servers, service objective %.2f\n",
+              controller.active_servers(), controller.last_service_objective());
+  return 0;
+}

@@ -3,11 +3,12 @@
 //
 //   build/example_portfolio_solve [dataset] [threads]
 //
-// Runs the default portfolio {greedy, engine, anneal, tabu} (src/solve/)
-// against one of the paper's datasets, sharing a mutex-protected incumbent
-// across solver threads. Results are deterministic for a fixed seed set:
-// thread count changes wall-clock only. Prints each member's outcome and
-// the winning plan.
+// Races every solver in solve::RegisteredSolverNames() (src/solve/) against
+// one of the paper's datasets, sharing a mutex-protected incumbent across
+// solver threads — strategies registered with SolverRegistry::Global() show
+// up here without touching this file. Results are deterministic for a fixed
+// seed set: thread count changes wall-clock only. Prints each member's
+// outcome and the winning plan.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,13 +38,21 @@ int main(int argc, char** argv) {
   problem.workloads = trace::ToProfiles(traces);
   problem.disk_model = &disk_model;
 
-  std::printf("racing portfolio on '%s' (%zu workloads, threads=%s)\n",
-              trace::DatasetName(kind).c_str(), traces.size(),
+  // One spec per registered solver, each with its own seed derived from the
+  // shared experiment seed.
+  std::vector<solve::PortfolioSolverSpec> specs;
+  uint64_t seed = 2026;
+  for (const std::string& name : solve::RegisteredSolverNames()) {
+    specs.push_back({name, seed});
+    seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  }
+
+  std::printf("racing %zu registered solvers on '%s' (%zu workloads, threads=%s)\n",
+              specs.size(), trace::DatasetName(kind).c_str(), traces.size(),
               threads > 0 ? std::to_string(threads).c_str() : "auto");
 
   solve::PortfolioOptions options;
   options.threads = threads;
-  const auto specs = solve::PortfolioRunner::DefaultSpecs(2026);
   const solve::PortfolioResult result =
       solve::PortfolioRunner(options).Run(problem, specs);
 

@@ -290,6 +290,8 @@ ConsolidationPlan FinalizePlan(const ConsolidationProblem& problem,
   plan.assignment.server_of_slot = assignment;
   plan.feasible = final_ev.IsFeasible();
   plan.objective = final_ev.current_cost();
+  plan.migration_cost = final_ev.migration_cost();
+  plan.moves_from_current = final_ev.MovesFromCurrent();
   plan.servers_used = plan.assignment.ServersUsed();
   const int num_slots = problem.TotalSlots();
   plan.consolidation_ratio =

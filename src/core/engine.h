@@ -58,6 +58,12 @@ struct ConsolidationPlan {
   int greedy_servers = -1;
   /// Per-used-server load summaries, indexed densely (only used servers).
   std::vector<Evaluator::ServerLoad> server_loads;
+  /// Migration penalty included in `objective` (0 unless the problem
+  /// carries an incumbent placement); objective - migration_cost is the
+  /// pure placement-quality ("service") objective.
+  double migration_cost = 0;
+  /// Slots placed away from the problem's current_assignment.
+  int moves_from_current = 0;
   double solve_seconds = 0;
   int solver_evaluations = 0;
 

@@ -42,6 +42,10 @@ Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
       ram[t] = w.ram_bytes.at(t);
       rate[t] = w.update_rows_per_sec.at(t);
     }
+    const double move_cost =
+        wi < static_cast<int>(problem.migration_move_cost.size())
+            ? problem.migration_move_cost[wi]
+            : 1.0;
     for (int r = 0; r < w.replicas; ++r) {
       slot_cpu_.push_back(cpu);
       slot_ram_.push_back(ram);
@@ -49,8 +53,16 @@ Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
       slot_ws_.push_back(w.working_set_bytes);
       workload_of_slot_.push_back(wi);
       pin_of_slot_.push_back(w.pinned_server);
+      slot_move_cost_.push_back(move_cost);
     }
   }
+
+  // slot_current_ tracks moves even at zero weight (for reporting); the
+  // cost term itself needs a positive weight.
+  if (static_cast<int>(problem.current_assignment.size()) == num_slots_) {
+    slot_current_ = problem.current_assignment;
+  }
+  has_migration_ = problem.migration_cost_weight > 0.0 && !slot_current_.empty();
 
   cpu_full_ = problem.target_machine.StandardCores();
   ram_full_ = static_cast<double>(problem.target_machine.ram_bytes);
@@ -184,6 +196,9 @@ double Evaluator::Evaluate(const std::vector<int>& assignment) const {
   for (auto& srv : servers) cost += ServerCost(srv);
   const double aff = AffinityViolations(assignment);
   if (aff > 0) cost += aff * (kViolationBase + kViolationScale * kAffinityUnit);
+  if (has_migration_) {
+    for (int s = 0; s < num_slots_; ++s) cost += SlotMigrationCost(s, assignment[s]);
+  }
   return cost;
 }
 
@@ -209,6 +224,13 @@ void Evaluator::Load(const std::vector<int>& assignment) {
       current_cost_ += kPinPenalty;
       total_violation_ += 1.0;
     }
+  }
+  migration_cost_ = 0;
+  if (has_migration_) {
+    for (int s = 0; s < num_slots_; ++s) {
+      migration_cost_ += SlotMigrationCost(s, assignment_[s]);
+    }
+    current_cost_ += migration_cost_;
   }
 }
 
@@ -242,6 +264,7 @@ double Evaluator::MoveDelta(int slot, int to) const {
                  ServerCost(to_copy) - servers_[to].cost;
   delta += (SlotAffinity(slot, to) - SlotAffinity(slot, from)) *
            (kViolationBase + kViolationScale * kAffinityUnit);
+  delta += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
   return delta;
 }
 
@@ -252,6 +275,7 @@ void Evaluator::ApplyMove(int slot, int to) {
   const double affinity_delta = SlotAffinity(slot, to) - SlotAffinity(slot, from);
 
   current_cost_ += delta;
+  migration_cost_ += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
   total_violation_ -= servers_[from].violation + servers_[to].violation;
 
   Apply(&servers_[from], slot, -1.0);
@@ -282,6 +306,15 @@ Evaluator::ServerLoad Evaluator::GetServerLoad(int j) const {
   }
   out.working_set_bytes = s.ws;
   return out;
+}
+
+int Evaluator::MovesFromCurrent() const {
+  if (slot_current_.empty()) return 0;
+  int moves = 0;
+  for (int s = 0; s < num_slots_; ++s) {
+    if (assignment_[s] != slot_current_[s]) ++moves;
+  }
+  return moves;
 }
 
 int Assignment::ServersUsed() const {

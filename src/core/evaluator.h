@@ -3,7 +3,10 @@
 // where load_tj is the normalized weighted resource utilization of server j
 // at time t, C_server makes one fewer server always preferable to any
 // rebalancing, and penalty_j spikes when capacity, replication, or
-// anti-affinity constraints are violated.
+// anti-affinity constraints are violated. When the problem carries an
+// incumbent placement (current_assignment + migration_cost_weight), a
+// migration term additionally charges every slot placed away from its
+// current server, making re-solves move-averse (the src/online/ loop).
 //
 // Supports both one-shot evaluation (for DIRECT) and cached incremental
 // move evaluation (for the local-search polish).
@@ -57,6 +60,12 @@ class Evaluator {
   bool IsFeasible() const { return total_violation_ <= 0.0; }
   /// Total relative constraint excess of the loaded assignment.
   double total_violation() const { return total_violation_; }
+  /// Migration penalty included in current_cost() (0 when the problem has
+  /// no current_assignment or a zero migration_cost_weight).
+  double migration_cost() const { return migration_cost_; }
+  /// Slots of the loaded assignment placed away from the problem's
+  /// current_assignment (0 when the problem has none).
+  int MovesFromCurrent() const;
 
   /// Per-server combined load of the loaded assignment (for reports).
   struct ServerLoad {
@@ -96,6 +105,12 @@ class Evaluator {
   double AffinityViolations(const std::vector<int>& assignment) const;
   /// Affinity units between `slot` and other slots currently on `server`.
   double SlotAffinity(int slot, int server) const;
+  /// Migration penalty of placing `slot` on `server`.
+  double SlotMigrationCost(int slot, int server) const {
+    return (has_migration_ && server != slot_current_[slot])
+               ? problem_.migration_cost_weight * slot_move_cost_[slot]
+               : 0.0;
+  }
 
   const ConsolidationProblem& problem_;
   int max_servers_;
@@ -108,6 +123,11 @@ class Evaluator {
   std::vector<int> workload_of_slot_;
   std::vector<int> pin_of_slot_;
 
+  // Migration term (empty/disabled unless the problem carries an incumbent).
+  bool has_migration_ = false;
+  std::vector<int> slot_current_;       // incumbent server per slot
+  std::vector<double> slot_move_cost_;  // per-slot move cost
+
   double cpu_capacity_ = 0;   // cores * headroom
   double ram_capacity_ = 0;   // bytes * headroom
   double cpu_full_ = 0;       // cores (for normalized load)
@@ -118,6 +138,7 @@ class Evaluator {
   std::vector<ServerState> servers_;
   double current_cost_ = 0;
   double total_violation_ = 0;
+  double migration_cost_ = 0;
 };
 
 }  // namespace kairos::core

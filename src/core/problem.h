@@ -54,6 +54,20 @@ struct ConsolidationProblem {
   /// automatic anti-affinity between replicas of one workload).
   std::vector<std::pair<int, int>> anti_affinity;
 
+  /// --- Migration-aware re-solve (the src/online/ control loop) ---
+  /// Incumbent placement, one server index per slot (same slot order as
+  /// TotalSlots()). Empty for greenfield solves. Entries may exceed
+  /// max_servers (e.g. a slot still sitting on a drained server); such
+  /// slots are charged a move wherever they are placed.
+  std::vector<int> current_assignment;
+  /// Objective points charged per unit of move cost when a slot is placed
+  /// away from its current server. Keep well below kServerCost so saving a
+  /// server still pays for any full reshuffle; 0 disables the term.
+  double migration_cost_weight = 0.0;
+  /// Relative move cost per workload (all replicas of a workload share it).
+  /// Empty means 1.0 per workload.
+  std::vector<double> migration_move_cost;
+
   /// Number of placement slots (sum of replica counts).
   int TotalSlots() const {
     int slots = 0;

@@ -1,0 +1,18 @@
+#include "monitor/profile.h"
+
+namespace kairos::monitor {
+
+ProfileStats Summarize(const WorkloadProfile& profile) {
+  ProfileStats stats;
+  stats.mean_cpu_cores = profile.cpu_cores.Mean();
+  stats.p95_cpu_cores = profile.cpu_cores.Percentile(95.0);
+  stats.peak_cpu_cores = profile.cpu_cores.Max();
+  stats.mean_ram_bytes = profile.ram_bytes.Mean();
+  stats.p95_ram_bytes = profile.ram_bytes.Percentile(95.0);
+  stats.peak_ram_bytes = profile.ram_bytes.Max();
+  stats.p95_update_rows_per_sec = profile.update_rows_per_sec.Percentile(95.0);
+  stats.working_set_bytes = profile.working_set_bytes;
+  return stats;
+}
+
+}  // namespace kairos::monitor

@@ -51,6 +51,23 @@ struct WorkloadProfile {
   double PeakUpdateRate() const { return update_rows_per_sec.Max(); }
 };
 
+/// Summary statistics of one profile — the compact fingerprint the online
+/// drift detector compares between the profile a plan was solved against
+/// and the live rolling profile.
+struct ProfileStats {
+  double mean_cpu_cores = 0;
+  double p95_cpu_cores = 0;
+  double peak_cpu_cores = 0;
+  double mean_ram_bytes = 0;
+  double p95_ram_bytes = 0;
+  double peak_ram_bytes = 0;
+  double p95_update_rows_per_sec = 0;
+  double working_set_bytes = 0;
+};
+
+/// Computes the summary fingerprint of a profile.
+ProfileStats Summarize(const WorkloadProfile& profile);
+
 }  // namespace kairos::monitor
 
 #endif  // KAIROS_MONITOR_PROFILE_H_

@@ -1,0 +1,254 @@
+#include "online/controller.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+#include "core/evaluator.h"
+
+namespace kairos::online {
+
+namespace {
+
+/// Deterministic per-(solve, member) seed derivation.
+uint64_t MixSeed(uint64_t seed, int solve_index, int member) {
+  uint64_t x = seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(solve_index + 1));
+  x += 0xBF58476D1CE4E5B9ULL * static_cast<uint64_t>(member + 1);
+  return x == 0 ? 1 : x;
+}
+
+}  // namespace
+
+ConsolidationController::ConsolidationController(const ControllerConfig& config)
+    : config_(config),
+      builder_(static_cast<int>(config.base.workloads.size()),
+               static_cast<size_t>(config.window_samples),
+               config.sample_interval_seconds),
+      drift_(config.drift) {
+  assert(!config.base.workloads.empty());
+  active_servers_ =
+      config.num_servers > 0 ? config.num_servers : config_.base.TotalSlots();
+  // The template's series are dead weight (rolling profiles replace them in
+  // every snapshot); drop them so per-control-step problem copies stay cheap.
+  for (auto& w : config_.base.workloads) {
+    w.cpu_cores = util::TimeSeries();
+    w.ram_bytes = util::TimeSeries();
+    w.update_rows_per_sec = util::TimeSeries();
+    w.os_ram_bytes = util::TimeSeries();
+    w.os_write_bytes_per_sec = util::TimeSeries();
+  }
+}
+
+core::ConsolidationProblem ConsolidationController::SnapshotProblem() const {
+  core::ConsolidationProblem problem = config_.base;
+  problem.max_servers = active_servers_;
+  problem.current_assignment.clear();
+  problem.migration_cost_weight = 0.0;
+  for (int w = 0; w < builder_.num_workloads(); ++w) {
+    const monitor::WorkloadProfile rolling = builder_.Profile(w);
+    problem.workloads[w].cpu_cores = rolling.cpu_cores;
+    problem.workloads[w].ram_bytes = rolling.ram_bytes;
+    problem.workloads[w].update_rows_per_sec = rolling.update_rows_per_sec;
+    problem.workloads[w].working_set_bytes = rolling.working_set_bytes;
+  }
+  return problem;
+}
+
+std::vector<monitor::ProfileStats> ConsolidationController::CurrentStats() const {
+  std::vector<monitor::ProfileStats> stats;
+  stats.reserve(builder_.num_workloads());
+  for (int w = 0; w < builder_.num_workloads(); ++w) stats.push_back(builder_.Stats(w));
+  return stats;
+}
+
+void ConsolidationController::Ingest(const std::vector<TelemetrySample>& samples) {
+  builder_.Ingest(samples);
+  ++step_;
+  if (static_cast<int>(builder_.samples_seen()) < config_.warmup_samples) return;
+  // The bootstrap solve happens at the first warmed-up step; afterwards
+  // control runs every control_interval steps.
+  if (!assignment_.empty() && config_.control_interval > 1 &&
+      step_ % config_.control_interval != 0) {
+    return;
+  }
+  RunControl("");
+}
+
+int ConsolidationController::RunToEnd(TelemetryFeed* feed) {
+  std::vector<TelemetrySample> samples;
+  int steps = 0;
+  while (feed->Next(&samples)) {
+    Ingest(samples);
+    ++steps;
+  }
+  return steps;
+}
+
+bool ConsolidationController::DrainHighestServer() {
+  if (active_servers_ <= 1) return false;
+  if (assignment_.empty()) {  // nothing placed yet: just shrink the fleet
+    --active_servers_;
+    return true;
+  }
+  // Drain the highest-indexed server *in use*. Machines are homogeneous, so
+  // relabel it as the fleet's top index (swap labels with active_servers_-1,
+  // which the incumbent cannot use more heavily by definition), then shrink
+  // the cap: its slots are stranded outside the cap and must evacuate.
+  int drained = 0;
+  for (int s : assignment_) drained = std::max(drained, s);
+  const int top = active_servers_ - 1;
+  // Pins name physical servers; relabeling would silently retarget them and
+  // evacuating a pinned workload is never valid — refuse.
+  for (const auto& w : config_.base.workloads) {
+    if (w.pinned_server == drained || w.pinned_server == top) return false;
+  }
+  for (int& s : assignment_) {
+    if (s == drained) {
+      s = top;
+    } else if (s == top) {
+      s = drained;
+    }
+  }
+  --active_servers_;
+  RunControl("node-drain");
+  return true;
+}
+
+void ConsolidationController::RunControl(const std::string& forced_reason) {
+  core::ConsolidationProblem problem = SnapshotProblem();
+  if (assignment_.empty()) {
+    Resolve(&problem, "bootstrap");
+    return;
+  }
+  if (!forced_reason.empty()) {
+    Resolve(&problem, forced_reason);
+    return;
+  }
+  // Would the incumbent placement violate constraints on the live rolling
+  // profiles? (The drained-server case never reaches here: entries are
+  // always within the cap outside a forced drain re-solve.)
+  bool forecast_violation = false;
+  {
+    core::Evaluator ev(problem, active_servers_);
+    ev.Load(assignment_);
+    forecast_violation = !ev.IsFeasible();
+  }
+  const DriftDecision decision =
+      drift_.Check(step_, CurrentStats(), forecast_violation);
+  if (decision.resolve) Resolve(&problem, decision.reason);
+}
+
+void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
+                                      const std::string& reason) {
+  const std::vector<int> before = assignment_;
+
+  solve::SolveBudget budget = config_.budget;
+  budget.seed_assignment.clear();
+  if (config_.migration_aware && !before.empty()) {
+    problem->current_assignment = before;
+    problem->migration_cost_weight = config_.migration_cost_weight;
+    // Warm seed for the solvers: entries stranded outside the cap (on a
+    // drained server) are remapped deterministically; the move penalty
+    // still charges them wherever they land.
+    std::vector<int> seed = before;
+    for (int& s : seed) {
+      if (s >= active_servers_) s %= active_servers_;
+    }
+    budget.seed_assignment = std::move(seed);
+  }
+
+  std::vector<solve::PortfolioSolverSpec> specs;
+  specs.reserve(config_.solvers.size());
+  for (size_t i = 0; i < config_.solvers.size(); ++i) {
+    specs.push_back({config_.solvers[i],
+                     MixSeed(config_.seed, solves_, static_cast<int>(i))});
+  }
+
+  solve::PortfolioOptions options;
+  options.threads = config_.threads;
+  options.budget = budget;
+  // No target objective: early-stop would make the winner depend on thread
+  // scheduling and break history determinism.
+  const solve::PortfolioResult result =
+      solve::PortfolioRunner(options).Run(*problem, specs);
+  ++solves_;
+  if (result.winner_index < 0) {
+    // Only unknown solver names: no plan to adopt. Keep the incumbent, but
+    // pull any stranded entries (a drained server's label) back inside the
+    // cap so later forecast checks stay within Evaluator bounds.
+    for (int& s : assignment_) {
+      if (s >= active_servers_) s %= active_servers_;
+    }
+    return;
+  }
+
+  const core::ConsolidationPlan& plan = result.best;
+
+  ControlEvent event;
+  event.step = step_;
+  event.reason = reason;
+  event.winner = result.winner;
+  event.servers_before =
+      before.empty() ? 0 : core::Assignment{before}.ServersUsed();
+  event.servers_after = plan.servers_used;
+  event.feasible = plan.feasible;
+  event.objective = plan.objective;
+  event.migration_cost = plan.migration_cost;
+  event.service_objective = plan.objective - plan.migration_cost;
+  event.plan = plan.assignment.server_of_slot;
+
+  MigrationPlan migration;
+  if (!before.empty()) {
+    migration = planner_.Plan(*problem, before, plan.assignment.server_of_slot);
+    event.moves = migration.total_moves();
+    event.stages = static_cast<int>(migration.stages.size());
+    event.migration_safe = migration.safe;
+  }
+  migration_plans_.push_back(std::move(migration));
+
+  assignment_ = plan.assignment.server_of_slot;
+  history_.push_back(std::move(event));
+  drift_.Rebase(step_, CurrentStats());
+}
+
+int ConsolidationController::total_moves() const {
+  int moves = 0;
+  for (const auto& e : history_) moves += e.moves;
+  return moves;
+}
+
+double ConsolidationController::last_service_objective() const {
+  return history_.empty() ? 0.0 : history_.back().service_objective;
+}
+
+double ConsolidationController::CurrentServiceObjective() const {
+  if (assignment_.empty()) return 0.0;
+  const core::ConsolidationProblem problem = SnapshotProblem();
+  core::Evaluator ev(problem, active_servers_);
+  ev.Load(assignment_);
+  return ev.current_cost();
+}
+
+std::string ConsolidationController::RenderHistory() const {
+  std::ostringstream out;
+  char line[192];
+  for (const auto& e : history_) {
+    std::snprintf(line, sizeof(line),
+                  "step %03d reason=%s winner=%s servers %d->%d moves=%d "
+                  "stages=%d safe=%s feasible=%s objective=%.4f "
+                  "service=%.4f migration=%.4f plan=",
+                  e.step, e.reason.c_str(), e.winner.c_str(), e.servers_before,
+                  e.servers_after, e.moves, e.stages,
+                  e.migration_safe ? "yes" : "no", e.feasible ? "yes" : "no",
+                  e.objective, e.service_objective, e.migration_cost);
+    out << line;
+    for (size_t i = 0; i < e.plan.size(); ++i) {
+      if (i > 0) out << ',';
+      out << e.plan[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace kairos::online

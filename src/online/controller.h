@@ -1,0 +1,165 @@
+// ConsolidationController: the serving control loop that keeps a
+// consolidation plan current under live traffic —
+//
+//   telemetry -> rolling profiles -> drift detection -> migration-aware
+//   re-solve (warm-started portfolio) -> staged migration plan
+//
+// One Ingest() per monitoring step. The controller bootstraps a plan once
+// enough samples accumulated, then re-solves only when the drift detector
+// fires (profile deviation or a forecast constraint violation) or when a
+// server is drained. Re-solves extend the problem with the incumbent
+// placement and a migration cost, warm-start the solver portfolio from the
+// incumbent, and sequence the resulting moves through the spill-checked
+// MigrationPlanner.
+//
+// Determinism: fixed telemetry + ControllerConfig::seed give a
+// byte-identical RenderHistory() regardless of portfolio thread count (no
+// early-stop target is set, so the portfolio winner is schedule-independent).
+#ifndef KAIROS_ONLINE_CONTROLLER_H_
+#define KAIROS_ONLINE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/problem.h"
+#include "online/drift.h"
+#include "online/migration.h"
+#include "online/streaming_profile.h"
+#include "online/telemetry.h"
+#include "solve/portfolio.h"
+
+namespace kairos::online {
+
+struct ControllerConfig {
+  /// Problem template: workload metadata (names, replicas, pins),
+  /// anti-affinity pairs, target machine, headrooms, weights, disk model.
+  /// Workload time series are ignored — rolling profiles replace them.
+  core::ConsolidationProblem base;
+
+  /// Servers available to place on (the fleet). 0 means one per slot.
+  int num_servers = 0;
+
+  /// Rolling profile length (samples) handed to each re-solve.
+  int window_samples = 12;
+  /// Monitoring step length (the rolling profiles' sampling interval).
+  double sample_interval_seconds = 300.0;
+  /// Drift is checked every `control_interval` ingested steps.
+  int control_interval = 2;
+  /// Samples required before the bootstrap solve.
+  int warmup_samples = 6;
+
+  DriftConfig drift;
+
+  /// Migration-aware re-solving: warm-start from the incumbent and charge
+  /// `migration_cost_weight` objective points per moved slot. false gives
+  /// the cold-re-solve baseline (fresh solve, no move penalty).
+  bool migration_aware = true;
+  double migration_cost_weight = 25.0;
+
+  /// Portfolio raced at each re-solve (registry names).
+  std::vector<std::string> solvers = {"polish", "greedy", "anneal", "tabu"};
+  solve::SolveBudget budget = MakeDefaultBudget();
+  /// Portfolio threads (0 = auto). Results are thread-count independent.
+  int threads = 0;
+  uint64_t seed = 1;
+
+  /// Re-solve budget sized for frequent incremental solves, not one-shot
+  /// offline runs.
+  static solve::SolveBudget MakeDefaultBudget() {
+    solve::SolveBudget budget;
+    budget.max_iterations = 8000;
+    budget.direct_evaluations = 500;
+    budget.probe_direct_evaluations = 250;
+    budget.local_search_max_sweeps = 40;
+    return budget;
+  }
+};
+
+/// One control decision that led to a re-solve.
+struct ControlEvent {
+  int step = -1;
+  std::string reason;  // "bootstrap", "drift:<w>", "violation-forecast", "node-drain"
+  std::string winner;  // portfolio member that produced the plan
+  int servers_before = 0;
+  int servers_after = 0;
+  /// Migration moves (0 for the bootstrap placement) and their staging.
+  int moves = 0;
+  int stages = 0;
+  bool migration_safe = true;
+  /// False when even the portfolio's best plan violates constraints (the
+  /// controller still adopts it — serving degraded beats not serving — but
+  /// the transcript makes it visible).
+  bool feasible = true;
+  double objective = 0;          ///< Includes the migration penalty.
+  double service_objective = 0;  ///< objective minus the migration penalty.
+  double migration_cost = 0;
+  /// The placement adopted by this event (server per slot).
+  std::vector<int> plan;
+};
+
+class ConsolidationController {
+ public:
+  explicit ConsolidationController(const ControllerConfig& config);
+
+  /// Feeds one monitoring step (one sample per workload, matching
+  /// config.base.workloads order). May trigger a re-solve.
+  void Ingest(const std::vector<TelemetrySample>& samples);
+
+  /// Drains every step from `feed`; returns the number of steps ingested.
+  int RunToEnd(TelemetryFeed* feed);
+
+  /// Retires the highest-indexed server *in use*: shrinks the fleet by one
+  /// and forces an evacuating re-solve. Returns false without draining when
+  /// only one server remains or a workload is pinned to an affected server
+  /// (a pinned-server drain needs an operator decision, not a relabel).
+  bool DrainHighestServer();
+
+  /// Incumbent placement (empty before the bootstrap solve).
+  const std::vector<int>& assignment() const { return assignment_; }
+  int active_servers() const { return active_servers_; }
+  int steps_ingested() const { return step_ + 1; }
+
+  const std::vector<ControlEvent>& history() const { return history_; }
+  const std::vector<MigrationPlan>& migration_plans() const {
+    return migration_plans_;
+  }
+  /// Migration moves across all re-solves (bootstrap placement excluded).
+  int total_moves() const;
+  /// Service objective of the last re-solve (0 before bootstrap).
+  double last_service_objective() const;
+  /// Placement quality of the incumbent on the *current* rolling profiles,
+  /// with no migration term (0 before bootstrap). The metric the
+  /// aware-vs-cold comparison is asserted and reported on.
+  double CurrentServiceObjective() const;
+
+  /// Deterministic transcript: one line per control event plus the plan
+  /// vector — byte-identical for fixed telemetry, config, and seed.
+  std::string RenderHistory() const;
+
+  /// The problem the controller would solve right now (rolling profiles
+  /// merged into the template). Exposed for tests and reporting.
+  core::ConsolidationProblem SnapshotProblem() const;
+
+ private:
+  void RunControl(const std::string& forced_reason);
+  void Resolve(core::ConsolidationProblem* problem, const std::string& reason);
+  std::vector<monitor::ProfileStats> CurrentStats() const;
+
+  ControllerConfig config_;
+  StreamingProfileBuilder builder_;
+  DriftDetector drift_;
+  MigrationPlanner planner_;
+
+  int step_ = -1;
+  int active_servers_ = 0;
+  int solves_ = 0;
+  std::vector<int> assignment_;
+  std::vector<ControlEvent> history_;
+  std::vector<MigrationPlan> migration_plans_;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_CONTROLLER_H_

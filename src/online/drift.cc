@@ -1,0 +1,40 @@
+#include "online/drift.h"
+
+#include <cmath>
+
+namespace kairos::online {
+
+namespace {
+
+bool Deviates(double current, double reference, double relative, double floor) {
+  const double delta = std::abs(current - reference);
+  if (delta <= floor) return false;
+  return delta > relative * std::abs(reference);
+}
+
+}  // namespace
+
+void DriftDetector::Rebase(int step, std::vector<monitor::ProfileStats> reference) {
+  rebased_step_ = step;
+  reference_ = std::move(reference);
+}
+
+DriftDecision DriftDetector::Check(
+    int step, const std::vector<monitor::ProfileStats>& current,
+    bool forecast_violation) const {
+  if (forecast_violation) return {true, "violation-forecast"};
+  if (reference_.empty() || current.size() != reference_.size()) return {};
+  if (rebased_step_ >= 0 && step - rebased_step_ < config_.cooldown_steps) return {};
+
+  for (size_t w = 0; w < current.size(); ++w) {
+    if (Deviates(current[w].p95_cpu_cores, reference_[w].p95_cpu_cores,
+                 config_.relative_threshold, config_.absolute_cpu_floor_cores) ||
+        Deviates(current[w].p95_ram_bytes, reference_[w].p95_ram_bytes,
+                 config_.relative_threshold, config_.absolute_ram_floor_bytes)) {
+      return {true, "drift:w" + std::to_string(w)};
+    }
+  }
+  return {};
+}
+
+}  // namespace kairos::online

@@ -1,0 +1,57 @@
+// Drift detection: decides *when* the online controller should re-solve.
+// Two triggers, checked in priority order:
+//   1. violation forecast — the incumbent placement no longer fits the
+//      rolling profiles (fires immediately, ignoring the cooldown);
+//   2. profile drift — some workload's rolling p95 CPU or RAM fingerprint
+//      deviates from the fingerprint captured at the last solve by more
+//      than a relative threshold (with absolute floors so idle workloads
+//      don't flap).
+#ifndef KAIROS_ONLINE_DRIFT_H_
+#define KAIROS_ONLINE_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "monitor/profile.h"
+
+namespace kairos::online {
+
+struct DriftConfig {
+  /// Fractional deviation of a workload's p95 fingerprint that counts as
+  /// drift.
+  double relative_threshold = 0.30;
+  /// Deviation floors: changes below these never count as drift.
+  double absolute_cpu_floor_cores = 0.15;
+  double absolute_ram_floor_bytes = 1.0 * 1024 * 1024 * 1024;
+  /// Steps after a solve during which profile drift is ignored (violation
+  /// forecasts are not).
+  int cooldown_steps = 6;
+};
+
+struct DriftDecision {
+  bool resolve = false;
+  std::string reason;  // "violation-forecast", "drift:<workload>", or ""
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftConfig& config) : config_(config) {}
+
+  /// Captures the fingerprints a fresh plan was solved against.
+  void Rebase(int step, std::vector<monitor::ProfileStats> reference);
+
+  /// `forecast_violation`: the controller's capacity forecast of the
+  /// incumbent placement against current rolling profiles.
+  DriftDecision Check(int step,
+                      const std::vector<monitor::ProfileStats>& current,
+                      bool forecast_violation) const;
+
+ private:
+  DriftConfig config_;
+  int rebased_step_ = -1;
+  std::vector<monitor::ProfileStats> reference_;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_DRIFT_H_

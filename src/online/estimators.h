@@ -1,0 +1,79 @@
+// Incremental statistics for streaming telemetry: a P² quantile estimator
+// (Jain & Chlamtac), a fixed-capacity rolling window, and a decaying peak
+// tracker for working sets. These let the online controller maintain
+// per-workload profile statistics in O(1) per sample instead of re-scanning
+// history.
+#ifndef KAIROS_ONLINE_ESTIMATORS_H_
+#define KAIROS_ONLINE_ESTIMATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/timeseries.h"
+
+namespace kairos::online {
+
+/// Streaming quantile estimation with the P² algorithm: five markers whose
+/// heights approximate the q-quantile without storing samples. Exact for
+/// the first five observations, O(1) memory and time per update.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.95 for the p95.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  /// Current estimate (exact below 5 samples; 0 when empty).
+  double Estimate() const;
+  size_t count() const { return count_; }
+
+ private:
+  double q_;
+  size_t count_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Last-W samples of one signal, with window statistics and export to the
+/// profile time-series format. Push is O(1) (ring buffer); the statistics
+/// and export walk the window.
+class RollingWindow {
+ public:
+  RollingWindow(size_t capacity, double interval_seconds);
+
+  void Push(double value);
+  size_t size() const { return values_.size(); }
+  bool full() const { return values_.size() == capacity_; }
+
+  double Mean() const;
+  double Max() const;
+
+  /// Window contents, oldest first, as a TimeSeries.
+  util::TimeSeries ToSeries() const;
+
+ private:
+  size_t capacity_;
+  double interval_seconds_;
+  std::vector<double> values_;  // ring; oldest at start_ once full
+  size_t start_ = 0;
+};
+
+/// Peak tracker with geometric decay: follows a rising signal exactly and
+/// forgets spikes at `decay` per sample. Used for working-set estimates,
+/// which should deflate slowly after a burst.
+class DecayingMax {
+ public:
+  explicit DecayingMax(double decay = 0.99) : decay_(decay) {}
+
+  void Push(double value);
+  double value() const { return value_; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_ESTIMATORS_H_

@@ -1,0 +1,63 @@
+// Migration planning: turns (incumbent placement, target placement) into a
+// sequenced MigrationPlan whose moves never push a server past its
+// headroomed capacity mid-migration. Moves execute in plan order; each
+// stage is one admission scan — a move is admitted only when the
+// sim::CapacityLedger says the target server can absorb the slot on top of
+// everything still (or already) living there. Capacity deadlocks (A and B
+// must swap but neither fits first) are broken by bouncing a slot through
+// a third server with room; if even that fails the remaining moves are
+// emitted as a final forced stage and the plan is flagged unsafe.
+#ifndef KAIROS_ONLINE_MIGRATION_H_
+#define KAIROS_ONLINE_MIGRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace kairos::online {
+
+struct MigrationMove {
+  int slot = -1;
+  int workload = -1;
+  int from = -1;
+  int to = -1;
+  /// True for a deadlock-breaking detour (the slot's final move follows in
+  /// a later stage).
+  bool bounce = false;
+};
+
+struct MigrationStage {
+  std::vector<MigrationMove> moves;
+};
+
+struct MigrationPlan {
+  std::vector<MigrationStage> stages;
+  /// False when a capacity deadlock forced moves past the spill check (the
+  /// final stage may transiently exceed headroom).
+  bool safe = true;
+
+  int total_moves() const;
+  /// Deterministic human-readable rendering.
+  std::string Render() const;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(int max_stages = 32) : max_stages_(max_stages) {}
+
+  /// Sequences the moves taking `from` to `to` for `problem`'s slots. The
+  /// ledger charges each slot's profile series as-is (conservative: every
+  /// slot carries its own instance overhead) against the headroomed target
+  /// machine.
+  MigrationPlan Plan(const core::ConsolidationProblem& problem,
+                     const std::vector<int>& from,
+                     const std::vector<int>& to) const;
+
+ private:
+  int max_stages_;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_MIGRATION_H_

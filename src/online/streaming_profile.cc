@@ -1,0 +1,51 @@
+#include "online/streaming_profile.h"
+
+#include <cassert>
+
+namespace kairos::online {
+
+StreamingProfileBuilder::StreamingProfileBuilder(int num_workloads,
+                                                 size_t window_samples,
+                                                 double interval_seconds,
+                                                 double working_set_decay) {
+  assert(num_workloads >= 1 && window_samples >= 1);
+  cpu_.reserve(num_workloads);
+  ram_.reserve(num_workloads);
+  rate_.reserve(num_workloads);
+  for (int w = 0; w < num_workloads; ++w) {
+    cpu_.emplace_back(window_samples, interval_seconds);
+    ram_.emplace_back(window_samples, interval_seconds);
+    rate_.emplace_back(window_samples, interval_seconds);
+    p95_cpu_.emplace_back(0.95);
+    working_set_.emplace_back(working_set_decay);
+  }
+}
+
+void StreamingProfileBuilder::Ingest(const std::vector<TelemetrySample>& samples) {
+  assert(static_cast<int>(samples.size()) == num_workloads());
+  for (int w = 0; w < num_workloads(); ++w) {
+    cpu_[w].Push(samples[w].cpu_cores);
+    ram_[w].Push(samples[w].ram_bytes);
+    rate_[w].Push(samples[w].update_rows_per_sec);
+    p95_cpu_[w].Add(samples[w].cpu_cores);
+    working_set_[w].Push(samples[w].working_set_bytes);
+  }
+  ++samples_seen_;
+}
+
+monitor::WorkloadProfile StreamingProfileBuilder::Profile(int w) const {
+  monitor::WorkloadProfile profile;
+  profile.cpu_cores = cpu_[w].ToSeries();
+  profile.ram_bytes = ram_[w].ToSeries();
+  profile.update_rows_per_sec = rate_[w].ToSeries();
+  profile.working_set_bytes = working_set_[w].value();
+  return profile;
+}
+
+monitor::ProfileStats StreamingProfileBuilder::Stats(int w) const {
+  // One fingerprint definition for the whole system: the drift detector
+  // compares exactly what monitor::Summarize says about the rolling profile.
+  return monitor::Summarize(Profile(w));
+}
+
+}  // namespace kairos::online

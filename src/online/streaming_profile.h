@@ -1,0 +1,51 @@
+// StreamingProfileBuilder: turns a telemetry stream into rolling
+// monitor::WorkloadProfiles the consolidation solver can re-solve against.
+// Each workload keeps the last W samples (the solver's time-varying view),
+// a P² estimator for the lifetime p95, and a decaying-max working-set
+// estimate — all O(1) per sample.
+#ifndef KAIROS_ONLINE_STREAMING_PROFILE_H_
+#define KAIROS_ONLINE_STREAMING_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "monitor/profile.h"
+#include "online/estimators.h"
+#include "online/telemetry.h"
+
+namespace kairos::online {
+
+class StreamingProfileBuilder {
+ public:
+  /// `window_samples` is W, the rolling-profile length handed to re-solves;
+  /// `interval_seconds` is the monitoring step.
+  StreamingProfileBuilder(int num_workloads, size_t window_samples,
+                          double interval_seconds,
+                          double working_set_decay = 0.995);
+
+  /// Ingests one step (one sample per workload, in workload order).
+  void Ingest(const std::vector<TelemetrySample>& samples);
+
+  int num_workloads() const { return static_cast<int>(cpu_.size()); }
+  size_t samples_seen() const { return samples_seen_; }
+
+  /// Rolling profile of workload `w` (series only — name/replicas/pinning
+  /// metadata stay with the caller's problem template).
+  monitor::WorkloadProfile Profile(int w) const;
+
+  /// Window fingerprint of workload `w` (p95/mean over the last W samples).
+  monitor::ProfileStats Stats(int w) const;
+
+  /// Lifetime p95 CPU of workload `w` from the P² estimator (reporting).
+  double LifetimeP95Cpu(int w) const { return p95_cpu_[w].Estimate(); }
+
+ private:
+  size_t samples_seen_ = 0;
+  std::vector<RollingWindow> cpu_, ram_, rate_;
+  std::vector<P2Quantile> p95_cpu_;
+  std::vector<DecayingMax> working_set_;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_STREAMING_PROFILE_H_

@@ -1,0 +1,74 @@
+// Telemetry ingestion for the online consolidation controller: one
+// TelemetrySample per workload per monitoring step, pulled from a
+// TelemetryFeed. Feeds replay historical rrdtool-style series
+// (trace::Dataset / trace::MakeScenario profiles) or re-shape a live
+// workload::Driver run into per-workload samples.
+#ifndef KAIROS_ONLINE_TELEMETRY_H_
+#define KAIROS_ONLINE_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "monitor/profile.h"
+#include "trace/dataset.h"
+#include "workload/driver.h"
+
+namespace kairos::online {
+
+/// One monitoring window's measurements for one workload.
+struct TelemetrySample {
+  double cpu_cores = 0;
+  double ram_bytes = 0;
+  double update_rows_per_sec = 0;
+  double working_set_bytes = 0;
+};
+
+/// A stream of telemetry steps; each step yields one sample per workload,
+/// in a fixed workload order.
+class TelemetryFeed {
+ public:
+  virtual ~TelemetryFeed() = default;
+
+  virtual int num_workloads() const = 0;
+  virtual std::string workload_name(int w) const = 0;
+
+  /// Fills `out` (resized to num_workloads()) with the next step's samples.
+  /// Returns false when the feed is exhausted (out untouched).
+  virtual bool Next(std::vector<TelemetrySample>* out) = 0;
+};
+
+/// Replays pre-recorded per-step samples, e.g. converted trace series.
+class ReplayFeed : public TelemetryFeed {
+ public:
+  ReplayFeed(std::vector<std::string> names,
+             std::vector<std::vector<TelemetrySample>> steps);
+
+  /// One step per series sample (the shortest series bounds the horizon).
+  static ReplayFeed FromProfiles(const std::vector<monitor::WorkloadProfile>& profiles);
+
+  /// Replays a synthesized or imported dataset (trace::ToProfiles applied).
+  static ReplayFeed FromTraces(const std::vector<trace::ServerTrace>& traces);
+
+  /// Re-shapes a workload::Driver run: the server's measured CPU demand is
+  /// apportioned to workloads by their per-window throughput share, the
+  /// row-modification rates are taken per workload, and RAM is the caller's
+  /// per-workload working set (the driver's server is shared, so per-tenant
+  /// RAM is not directly observable).
+  static ReplayFeed FromRun(const workload::RunResult& run,
+                            const std::vector<double>& working_set_bytes);
+
+  int num_workloads() const override;
+  std::string workload_name(int w) const override;
+  bool Next(std::vector<TelemetrySample>* out) override;
+
+  int steps_total() const { return static_cast<int>(steps_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<TelemetrySample>> steps_;  // [step][workload]
+  size_t cursor_ = 0;
+};
+
+}  // namespace kairos::online
+
+#endif  // KAIROS_ONLINE_TELEMETRY_H_

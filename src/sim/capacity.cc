@@ -1,0 +1,59 @@
+#include "sim/capacity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kairos::sim {
+
+CapacityLedger::CapacityLedger(const MachineSpec& machine, int num_servers,
+                               int samples, double cpu_headroom,
+                               double ram_headroom, double ram_overhead_bytes)
+    : samples_(samples),
+      cpu_capacity_(machine.StandardCores() * cpu_headroom),
+      ram_capacity_(static_cast<double>(machine.ram_bytes) * ram_headroom -
+                    ram_overhead_bytes) {
+  assert(num_servers >= 0 && samples >= 1);
+  cpu_.assign(num_servers, std::vector<double>(samples_, 0.0));
+  ram_.assign(num_servers, std::vector<double>(samples_, 0.0));
+}
+
+bool CapacityLedger::CanAdd(int server, const std::vector<double>& cpu_cores,
+                            const std::vector<double>& ram_bytes) const {
+  assert(server >= 0 && server < num_servers());
+  assert(static_cast<int>(cpu_cores.size()) >= samples_ &&
+         static_cast<int>(ram_bytes.size()) >= samples_);
+  const auto& cpu = cpu_[server];
+  const auto& ram = ram_[server];
+  for (int t = 0; t < samples_; ++t) {
+    if (cpu[t] + cpu_cores[t] > cpu_capacity_) return false;
+    if (ram[t] + ram_bytes[t] > ram_capacity_) return false;
+  }
+  return true;
+}
+
+void CapacityLedger::Add(int server, const std::vector<double>& cpu_cores,
+                         const std::vector<double>& ram_bytes) {
+  assert(server >= 0 && server < num_servers());
+  for (int t = 0; t < samples_; ++t) {
+    cpu_[server][t] += cpu_cores[t];
+    ram_[server][t] += ram_bytes[t];
+  }
+}
+
+void CapacityLedger::Remove(int server, const std::vector<double>& cpu_cores,
+                            const std::vector<double>& ram_bytes) {
+  assert(server >= 0 && server < num_servers());
+  for (int t = 0; t < samples_; ++t) {
+    cpu_[server][t] -= cpu_cores[t];
+    ram_[server][t] -= ram_bytes[t];
+  }
+}
+
+double CapacityLedger::PeakCpuFraction(int server) const {
+  assert(server >= 0 && server < num_servers());
+  const double peak =
+      *std::max_element(cpu_[server].begin(), cpu_[server].end());
+  return cpu_capacity_ > 0 ? peak / cpu_capacity_ : 0.0;
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,52 @@
+// CapacityLedger: a time-aligned per-server resource ledger used to check
+// whether a server can absorb an additional load series without exceeding
+// its headroom-adjusted capacity. The online migration planner uses it as
+// the mid-migration spill check: during a staged re-placement a slot is
+// only allowed to land on a server whose ledger (incumbent load plus moves
+// already admitted) stays within capacity.
+#ifndef KAIROS_SIM_CAPACITY_H_
+#define KAIROS_SIM_CAPACITY_H_
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace kairos::sim {
+
+/// Tracks summed CPU/RAM series per server against headroomed capacity.
+class CapacityLedger {
+ public:
+  /// `samples` is the common series length; every Add/Remove/CanAdd series
+  /// must have at least that many samples. `ram_overhead_bytes` is charged
+  /// once per server (the consolidated DBMS instance).
+  CapacityLedger(const MachineSpec& machine, int num_servers, int samples,
+                 double cpu_headroom, double ram_headroom,
+                 double ram_overhead_bytes);
+
+  int num_servers() const { return static_cast<int>(cpu_.size()); }
+
+  /// True when adding the series to `server` keeps every sample within the
+  /// headroomed capacity.
+  bool CanAdd(int server, const std::vector<double>& cpu_cores,
+              const std::vector<double>& ram_bytes) const;
+
+  void Add(int server, const std::vector<double>& cpu_cores,
+           const std::vector<double>& ram_bytes);
+  void Remove(int server, const std::vector<double>& cpu_cores,
+              const std::vector<double>& ram_bytes);
+
+  /// Worst-sample CPU load of `server` as a fraction of headroomed
+  /// capacity (for reports).
+  double PeakCpuFraction(int server) const;
+
+ private:
+  int samples_;
+  double cpu_capacity_;  // cores * headroom
+  double ram_capacity_;  // bytes * headroom - per-server instance overhead
+  std::vector<std::vector<double>> cpu_;  // per server, summed over time
+  std::vector<std::vector<double>> ram_;
+};
+
+}  // namespace kairos::sim
+
+#endif  // KAIROS_SIM_CAPACITY_H_

@@ -70,4 +70,25 @@ core::ConsolidationPlan EngineSolver::Solve(
   return core::ConsolidationEngine(problem, options).Solve();
 }
 
+core::ConsolidationPlan WarmStartPolishSolver::Solve(
+    const core::ConsolidationProblem& problem, const SolveBudget& budget,
+    SharedIncumbent* incumbent) {
+  const int cap = HardCap(problem);
+  const core::Assignment start = StartAssignment(problem, cap, budget);
+
+  core::EngineOptions options;
+  options.seed = seed_;
+  options.direct_evaluations = budget.direct_evaluations;
+  options.local_search_max_sweeps = budget.local_search_max_sweeps;
+  if (incumbent) {
+    const std::string source = name();
+    options.on_incumbent = [incumbent, source](const core::Assignment& a,
+                                               double objective, bool feasible) {
+      incumbent->Offer(a.server_of_slot, objective, feasible, source);
+    };
+    options.should_stop = [incumbent] { return incumbent->ShouldStop(); };
+  }
+  return core::ConsolidationEngine(problem, options).PolishPlan(start, cap);
+}
+
 }  // namespace kairos::solve

@@ -43,6 +43,23 @@ class EngineSolver : public Solver {
   uint64_t seed_;
 };
 
+/// core::ConsolidationEngine::PolishPlan around the budget's warm-start
+/// seed (or the multi-resource greedy when none is given): local search
+/// plus a DIRECT pass at the full cap, without the binary search on K. The
+/// cheapest way to refresh an incumbent after small drift — the online
+/// controller's workhorse.
+class WarmStartPolishSolver : public Solver {
+ public:
+  explicit WarmStartPolishSolver(uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "polish"; }
+  core::ConsolidationPlan Solve(const core::ConsolidationProblem& problem,
+                                const SolveBudget& budget,
+                                SharedIncumbent* incumbent) override;
+
+ private:
+  uint64_t seed_;
+};
+
 }  // namespace kairos::solve
 
 #endif  // KAIROS_SOLVE_ADAPTERS_H_

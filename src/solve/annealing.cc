@@ -15,9 +15,7 @@ core::ConsolidationPlan AnnealingSolver::Solve(
   const int cap = HardCap(problem);
   util::Rng rng(seed_);
 
-  bool clean = false;
-  const core::Assignment seed_assignment =
-      core::GreedyMultiResource(problem, cap, &clean);
+  const core::Assignment seed_assignment = StartAssignment(problem, cap, budget);
 
   core::Evaluator ev(problem, cap);
   ev.Load(seed_assignment.server_of_slot);

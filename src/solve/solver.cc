@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/evaluator.h"
+#include "core/greedy.h"
 #include "solve/adapters.h"
 #include "solve/annealing.h"
 #include "solve/tabu.h"
@@ -10,6 +12,28 @@ namespace kairos::solve {
 
 int HardCap(const core::ConsolidationProblem& problem) {
   return problem.max_servers > 0 ? problem.max_servers : problem.TotalSlots();
+}
+
+bool ValidSeedAssignment(const core::ConsolidationProblem& problem, int cap,
+                         const std::vector<int>& seed) {
+  if (static_cast<int>(seed.size()) != problem.TotalSlots()) return false;
+  for (int s : seed) {
+    if (s < 0 || s >= cap) return false;
+  }
+  return true;
+}
+
+core::Assignment StartAssignment(const core::ConsolidationProblem& problem,
+                                 int cap, const SolveBudget& budget) {
+  bool clean = false;
+  core::Assignment greedy = core::GreedyMultiResource(problem, cap, &clean);
+  if (!ValidSeedAssignment(problem, cap, budget.seed_assignment)) return greedy;
+  core::Evaluator ev(problem, cap);
+  if (ev.Evaluate(budget.seed_assignment) <=
+      ev.Evaluate(greedy.server_of_slot)) {
+    greedy.server_of_slot = budget.seed_assignment;
+  }
+  return greedy;
 }
 
 SolverRegistry& SolverRegistry::Global() {
@@ -31,6 +55,9 @@ SolverRegistry& SolverRegistry::Global() {
     });
     r->Register("tabu", [](uint64_t seed) {
       return std::make_unique<TabuSolver>(seed);
+    });
+    r->Register("polish", [](uint64_t seed) {
+      return std::make_unique<WarmStartPolishSolver>(seed);
     });
     return r;
   }();
@@ -78,6 +105,10 @@ std::vector<std::string> SolverRegistry::Names() const {
   for (const auto& [key, factory] : entries_) names.push_back(key);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::vector<std::string> RegisteredSolverNames() {
+  return SolverRegistry::Global().Names();
 }
 
 }  // namespace kairos::solve

@@ -34,11 +34,28 @@ struct SolveBudget {
   int probe_direct_evaluations = 800;
   /// Local-search sweep cap for the engine adapter.
   int local_search_max_sweeps = 60;
+  /// Warm-start seed (one server index per slot, all within [0, HardCap)).
+  /// When valid, the metaheuristics and the "polish" solver start from it
+  /// instead of the greedy packing whenever it scores no worse; empty means
+  /// cold start. The online controller seeds this with its incumbent plan.
+  std::vector<int> seed_assignment;
 };
 
 /// Upper bound on server indices a solver may use (the problem's
 /// max_servers, or one server per slot when unset).
 int HardCap(const core::ConsolidationProblem& problem);
+
+/// True when `seed` can warm-start the problem at `cap` servers: one entry
+/// per slot, every entry in [0, cap).
+bool ValidSeedAssignment(const core::ConsolidationProblem& problem, int cap,
+                         const std::vector<int>& seed);
+
+/// The start assignment for seeded solvers: the budget's warm seed when
+/// valid and no costlier than the multi-resource greedy packing (ties keep
+/// the warm seed, so an incumbent-quality start is never thrown away),
+/// otherwise the greedy packing.
+core::Assignment StartAssignment(const core::ConsolidationProblem& problem,
+                                 int cap, const SolveBudget& budget);
 
 /// A portfolio member. Implementations should poll
 /// `incumbent->ShouldStop()` periodically and return their best-so-far when
@@ -60,7 +77,8 @@ class Solver {
 using SolverFactory = std::function<std::unique_ptr<Solver>(uint64_t seed)>;
 
 /// String-keyed solver factory registry. Global() comes pre-populated with
-/// the built-ins: "greedy", "greedy-multi", "engine", "anneal", "tabu".
+/// the built-ins: "greedy", "greedy-multi", "engine", "anneal", "tabu",
+/// "polish".
 /// Thread-safe: registration and lookup may race with in-flight portfolio
 /// runs.
 class SolverRegistry {
@@ -86,6 +104,11 @@ class SolverRegistry {
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, SolverFactory>> entries_;
 };
+
+/// Sorted names of every solver in SolverRegistry::Global() — use this to
+/// enumerate the portfolio instead of hard-coding built-in names, so newly
+/// registered strategies are picked up automatically.
+std::vector<std::string> RegisteredSolverNames();
 
 }  // namespace kairos::solve
 

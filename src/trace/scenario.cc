@@ -1,0 +1,109 @@
+#include "trace/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace kairos::trace {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Per-workload RAM requirement: spread around the base so bin-packings
+/// have structure (0.6x .. 1.4x of base).
+double RamBytes(const ScenarioConfig& config, int w) {
+  const double spread =
+      config.workloads > 1
+          ? 0.6 + 0.8 * static_cast<double>(w) /
+                      static_cast<double>(config.workloads - 1)
+          : 1.0;
+  return config.base_ram_gb * spread * static_cast<double>(util::kGiB);
+}
+
+}  // namespace
+
+std::vector<ScenarioKind> AllScenarios() {
+  return {ScenarioKind::kStable, ScenarioKind::kDiurnal,
+          ScenarioKind::kFlashCrowd, ScenarioKind::kNodeDrain};
+}
+
+std::string ScenarioName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kStable: return "stable";
+    case ScenarioKind::kDiurnal: return "diurnal";
+    case ScenarioKind::kFlashCrowd: return "flash-crowd";
+    case ScenarioKind::kNodeDrain: return "node-drain";
+  }
+  return "unknown";
+}
+
+ScenarioTelemetry MakeScenario(ScenarioKind kind, const ScenarioConfig& config_in) {
+  ScenarioConfig config = config_in;
+  config.workloads = std::max(1, config.workloads);
+  config.steps = std::max(2, config.steps);
+
+  ScenarioTelemetry out;
+  util::Rng rng(config.seed ^ (0x5C3Aull + static_cast<uint64_t>(kind)));
+
+  // Diurnal cycle: two full cycles over the horizon, workloads split into
+  // two phase groups (front-end-like vs batch-like peak times).
+  const double cycle_steps = std::max(2.0, static_cast<double>(config.steps) / 2.0);
+
+  // Flash crowd: workload 0 multiplies by kCrowdFactor over a short burst
+  // in the middle of the horizon.
+  const int crowd_start = config.steps * 45 / 100;
+  const int crowd_end = config.steps * 60 / 100;
+  constexpr double kCrowdFactor = 8.0;
+
+  for (int w = 0; w < config.workloads; ++w) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(w);
+    util::Rng wl_rng = rng.Fork();
+
+    std::vector<double> cpu(config.steps), ram(config.steps), rate(config.steps);
+    const double ram_bytes = RamBytes(config, w);
+    // Two groups in quadrature (not anti-phase), so the *total* load also
+    // swings across the cycle and the fleet genuinely scales up and down.
+    const double phase = (w % 2 == 0) ? 0.0 : kPi / 2.0;
+
+    for (int t = 0; t < config.steps; ++t) {
+      double level = 1.0;
+      switch (kind) {
+        case ScenarioKind::kStable:
+          level = 1.0;
+          break;
+        case ScenarioKind::kNodeDrain:
+          // Heavy enough that the plan spreads over several servers, so
+          // draining one actually evacuates workloads.
+          level = 1.6;
+          break;
+        case ScenarioKind::kDiurnal:
+          // 0.25x at the trough, ~1.95x at the peak of each group's cycle.
+          level = 0.25 + 0.85 * (1.0 + std::sin(2.0 * kPi * t / cycle_steps + phase));
+          break;
+        case ScenarioKind::kFlashCrowd:
+          level = 1.0;
+          if (w == 0 && t >= crowd_start && t < crowd_end) level = kCrowdFactor;
+          break;
+      }
+      const double noise = 1.0 + 0.03 * wl_rng.Gaussian(0.0, 1.0);
+      cpu[t] = std::max(0.02, config.base_cpu_cores * level * noise);
+      ram[t] = ram_bytes * (1.0 + 0.01 * wl_rng.Gaussian(0.0, 1.0));
+      rate[t] = std::max(0.0, 40.0 * level * (1.0 + 0.05 * wl_rng.Gaussian(0.0, 1.0)));
+    }
+
+    p.cpu_cores = util::TimeSeries(config.interval_seconds, cpu);
+    p.ram_bytes = util::TimeSeries(config.interval_seconds, ram);
+    p.update_rows_per_sec = util::TimeSeries(config.interval_seconds, rate);
+    p.working_set_bytes = ram_bytes * 0.8;
+    out.profiles.push_back(std::move(p));
+  }
+
+  if (kind == ScenarioKind::kNodeDrain) out.drain_step = config.steps / 2;
+  return out;
+}
+
+}  // namespace kairos::trace

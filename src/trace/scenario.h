@@ -1,0 +1,55 @@
+// Synthetic serving-traffic scenarios for the online consolidation
+// controller: full-horizon per-workload telemetry series exercising the
+// control loop's regimes — steady state (no re-solve expected), diurnal
+// load swings (periodic re-solves), a flash crowd (emergency re-solve on a
+// violation forecast), and a node drain (forced evacuation). Lives next to
+// the paper's dataset synthesizer because these are the same rrdtool-style
+// statistics, just streamed instead of handed over as history.
+#ifndef KAIROS_TRACE_SCENARIO_H_
+#define KAIROS_TRACE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/profile.h"
+
+namespace kairos::trace {
+
+enum class ScenarioKind { kStable, kDiurnal, kFlashCrowd, kNodeDrain };
+
+/// All scenarios, in sweep order.
+std::vector<ScenarioKind> AllScenarios();
+
+/// Display name ("stable", "diurnal", ...).
+std::string ScenarioName(ScenarioKind kind);
+
+struct ScenarioConfig {
+  int workloads = 12;
+  /// Telemetry steps in the horizon (at `interval_seconds` each).
+  int steps = 96;
+  double interval_seconds = 300.0;
+  /// Per-workload mean CPU demand in standard cores; diurnal peaks reach
+  /// roughly double this, the flash crowd several times it.
+  double base_cpu_cores = 0.8;
+  /// RAM requirement of the median workload; workloads spread around it so
+  /// packings are non-trivial.
+  double base_ram_gb = 4.0;
+  uint64_t seed = 1;
+};
+
+struct ScenarioTelemetry {
+  /// One full-horizon profile per workload: cpu/ram/update-rate series of
+  /// `steps` samples, replayed one sample per step by the controller.
+  std::vector<monitor::WorkloadProfile> profiles;
+  /// kNodeDrain: the step at which a server should be retired (-1 for the
+  /// other scenarios).
+  int drain_step = -1;
+};
+
+/// Deterministic generator: fixed (kind, config) gives identical telemetry.
+ScenarioTelemetry MakeScenario(ScenarioKind kind, const ScenarioConfig& config);
+
+}  // namespace kairos::trace
+
+#endif  // KAIROS_TRACE_SCENARIO_H_

@@ -184,5 +184,68 @@ TEST(EvaluatorTest, DiskConstraintViaModel) {
   EXPECT_TRUE(ev.IsFeasible());
 }
 
+TEST(EvaluatorMigrationTest, ChargesMovedSlots) {
+  ConsolidationProblem prob = SmallProblem(4, 0.5, 4.0);
+  prob.current_assignment = {0, 0, 1, 1};
+  prob.migration_cost_weight = 10.0;
+  prob.migration_move_cost = {1.0, 2.0, 1.0, 1.0};
+  Evaluator ev(prob, 2);
+
+  ev.Load({0, 0, 1, 1});  // stay put: no penalty
+  EXPECT_DOUBLE_EQ(ev.migration_cost(), 0.0);
+  EXPECT_EQ(ev.MovesFromCurrent(), 0);
+
+  ev.Load({1, 0, 1, 0});  // w0 moves (cost 1), w3 moves (cost 1)
+  EXPECT_DOUBLE_EQ(ev.migration_cost(), 20.0);
+  EXPECT_EQ(ev.MovesFromCurrent(), 2);
+
+  ev.Load({0, 1, 1, 1});  // w1 moves at double cost
+  EXPECT_DOUBLE_EQ(ev.migration_cost(), 20.0);
+
+  // One-shot and incremental evaluation agree, including the penalty.
+  EXPECT_DOUBLE_EQ(ev.Evaluate({1, 0, 1, 0}),
+                   [&] { Evaluator e2(prob, 2); e2.Load({1, 0, 1, 0});
+                         return e2.current_cost(); }());
+}
+
+TEST(EvaluatorMigrationTest, MoveDeltaMatchesReload) {
+  ConsolidationProblem prob = SmallProblem(5, 0.8, 6.0);
+  prob.current_assignment = {0, 0, 1, 1, 2};
+  prob.migration_cost_weight = 25.0;
+  Evaluator ev(prob, 3);
+  ev.Load({0, 0, 1, 1, 2});
+
+  for (int slot = 0; slot < 5; ++slot) {
+    for (int to = 0; to < 3; ++to) {
+      const double predicted = ev.current_cost() + ev.MoveDelta(slot, to);
+      Evaluator fresh(prob, 3);
+      std::vector<int> moved = ev.assignment();
+      moved[slot] = to;
+      fresh.Load(moved);
+      EXPECT_NEAR(predicted, fresh.current_cost(), 1e-6)
+          << "slot " << slot << " -> " << to;
+    }
+  }
+
+  // ApplyMove keeps the incremental migration cost in sync with a reload.
+  ev.ApplyMove(0, 2);
+  ev.ApplyMove(4, 0);
+  Evaluator fresh(prob, 3);
+  fresh.Load(ev.assignment());
+  EXPECT_NEAR(ev.current_cost(), fresh.current_cost(), 1e-6);
+  EXPECT_DOUBLE_EQ(ev.migration_cost(), fresh.migration_cost());
+  EXPECT_EQ(ev.MovesFromCurrent(), 2);
+}
+
+TEST(EvaluatorMigrationTest, ServerSavingsStillDominateMoves) {
+  // Consolidating 2 -> 1 servers saves kServerCost, which must beat moving
+  // every slot at the default weight.
+  ConsolidationProblem prob = SmallProblem(4, 0.5, 4.0);
+  prob.current_assignment = {0, 0, 1, 1};
+  prob.migration_cost_weight = 25.0;
+  Evaluator ev(prob, 2);
+  EXPECT_LT(ev.Evaluate({0, 0, 0, 0}), ev.Evaluate({0, 0, 1, 1}));
+}
+
 }  // namespace
 }  // namespace kairos::core
