@@ -3,6 +3,7 @@
 #define KAIROS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "model/analytic.h"
@@ -13,6 +14,16 @@ namespace kairos::bench {
 
 /// Seed shared by all benches so outputs are reproducible run-to-run.
 inline constexpr uint64_t kSeed = 2026;
+
+/// True when `--smoke` appears anywhere on the command line: benches shrink
+/// their horizons/sweeps to CI-sized runs. The one flag every bench binary
+/// parses the same way.
+inline bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
 
 /// Disk model for the 12-core / 96 GB consolidation target (analytic
 /// profile over the RAID array; see DESIGN.md for the substitution note).

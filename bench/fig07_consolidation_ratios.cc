@@ -44,7 +44,7 @@ int main() {
                   util::FormatDouble(plan.consolidation_ratio, 1) + ":1"});
     if (name == "ALL") {
       for (const auto& t : traces) total_cores_before += t.machine.cores;
-      total_cores_after = plan.servers_used * prob.target_machine.cores;
+      total_cores_after = plan.servers_used * prob.fleet.classes[0].spec.cores;
       std::printf("[ALL] %s\n", plan.Render().c_str());
     }
     return plan;

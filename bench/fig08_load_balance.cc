@@ -28,7 +28,7 @@ int main() {
               prob.workloads.size(), plan.servers_used,
               plan.feasible ? "yes" : "NO");
 
-  const double capacity = prob.target_machine.StandardCores();
+  const double capacity = prob.fleet.classes[0].spec.StandardCores();
   const size_t samples = plan.server_loads.front().cpu_cores.size();
   util::Table table({"hour", "avg cpu %", "p95 cpu %", "p5 cpu %"});
   util::Accumulator spread;

@@ -26,8 +26,8 @@ int main() {
   const core::ConsolidationPlan plan =
       core::ConsolidationEngine(prob, core::EngineOptions{}).Solve();
 
-  const double cpu_cap = prob.target_machine.StandardCores();
-  const double ram_cap = static_cast<double>(prob.target_machine.ram_bytes);
+  const double cpu_cap = prob.fleet.classes[0].spec.StandardCores();
+  const double ram_cap = static_cast<double>(prob.fleet.classes[0].spec.ram_bytes);
 
   util::Table table({"server", "tenants", "cpu min%", "q1%", "median%", "q3%",
                      "max%", "outliers", "max RAM %", "max RAM GB"});

@@ -1,0 +1,168 @@
+// Heterogeneous-fleet consolidation sweep: solves the mixed-class scenarios
+// over a sweep of class mixes (how many current-generation boxes are
+// available next to the weakest class) and reports servers used per class,
+// fleet cost, and consolidation ratio for each mix. Mix 0 is the "same
+// workloads forced onto the weakest class" baseline; the headline is how
+// much cheaper the class-aware placement gets as bigger boxes join the
+// fleet. A second section streams the generation-upgrade scenario through
+// the online controller and drains the legacy class mid-horizon.
+//
+//   build/bench_fleet_consolidation [--smoke]
+//
+// --smoke shrinks horizons and solver budgets for CI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "online/controller.h"
+#include "online/telemetry.h"
+#include "solve/portfolio.h"
+#include "trace/scenario.h"
+#include "util/table.h"
+
+using namespace kairos;
+
+namespace {
+
+struct MixResult {
+  core::ConsolidationPlan plan;
+  std::string winner;
+};
+
+MixResult SolveMix(const trace::FleetScenario& scenario, int strong_count,
+                   const solve::SolveBudget& budget) {
+  core::ConsolidationProblem problem;
+  problem.workloads = scenario.profiles;
+  problem.fleet.classes = {scenario.fleet.classes[0]};
+  if (strong_count > 0) {
+    sim::MachineClass strong = scenario.fleet.classes[1];
+    strong.count = strong_count;
+    problem.fleet.classes.push_back(strong);
+  }
+
+  std::vector<solve::PortfolioSolverSpec> specs;
+  uint64_t seed = bench::kSeed;
+  for (const std::string& name : solve::RegisteredSolverNames()) {
+    specs.push_back({name, seed});
+    seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  }
+  solve::PortfolioOptions options;
+  options.budget = budget;
+  const solve::PortfolioResult result =
+      solve::PortfolioRunner(options).Run(problem, specs);
+  return {result.best, result.winner};
+}
+
+void SweepScenario(trace::FleetScenarioKind kind, int steps,
+                   const solve::SolveBudget& budget) {
+  trace::ScenarioConfig config;
+  config.steps = steps;
+  config.seed = bench::kSeed;
+  const trace::FleetScenario scenario = trace::MakeFleetScenario(kind, config);
+
+  const sim::MachineClass& weak = scenario.fleet.classes[0];
+  const sim::MachineClass& strong = scenario.fleet.classes[1];
+  std::printf("scenario %s: %zu workloads, weak=%s w=%s, strong=%s w=%s\n",
+              trace::FleetScenarioName(kind).c_str(), scenario.profiles.size(),
+              weak.spec.name.c_str(),
+              util::FormatDouble(weak.cost_weight, 2).c_str(),
+              strong.spec.name.c_str(),
+              util::FormatDouble(strong.cost_weight, 2).c_str());
+
+  util::Table table({"strong boxes", "winner", "weak used", "strong used",
+                     "fleet cost", "ratio", "feasible"});
+  double weakest_only_cost = 0;
+  double best_cost = 1e300;
+  const int max_strong = strong.count;
+  for (int m = 0; m <= max_strong; ++m) {
+    const MixResult r = SolveMix(scenario, m, budget);
+    const int weak_used =
+        r.plan.class_servers_used.empty() ? 0 : r.plan.class_servers_used[0];
+    const int strong_used = r.plan.class_servers_used.size() > 1
+                                ? r.plan.class_servers_used[1]
+                                : 0;
+    table.AddRow({std::to_string(m), r.winner, std::to_string(weak_used),
+                  std::to_string(strong_used),
+                  util::FormatDouble(r.plan.fleet_cost, 2),
+                  util::FormatDouble(r.plan.consolidation_ratio, 1),
+                  r.plan.feasible ? "yes" : "NO"});
+    if (m == 0) weakest_only_cost = r.plan.fleet_cost;
+    if (r.plan.feasible && r.plan.fleet_cost < best_cost) {
+      best_cost = r.plan.fleet_cost;
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("best mix fleet cost %s vs weakest-only %s (%s%% cheaper)\n\n",
+              util::FormatDouble(best_cost, 2).c_str(),
+              util::FormatDouble(weakest_only_cost, 2).c_str(),
+              util::FormatDouble(
+                  weakest_only_cost > 0
+                      ? 100.0 * (weakest_only_cost - best_cost) / weakest_only_cost
+                      : 0.0,
+                  1)
+                  .c_str());
+}
+
+void GenerationUpgradeDrain(int steps) {
+  trace::ScenarioConfig config;
+  config.steps = steps;
+  config.seed = bench::kSeed;
+  const trace::FleetScenario scenario =
+      trace::MakeFleetScenario(trace::FleetScenarioKind::kGenerationUpgrade, config);
+
+  online::ControllerConfig controller_config;
+  controller_config.base.workloads = scenario.profiles;
+  controller_config.base.fleet = scenario.fleet;
+  controller_config.seed = bench::kSeed;
+  online::ConsolidationController controller(controller_config);
+
+  online::ReplayFeed feed = online::ReplayFeed::FromProfiles(scenario.profiles);
+  std::vector<online::TelemetrySample> samples;
+  int step = 0;
+  bool drained = false;
+  while (feed.Next(&samples)) {
+    if (step == scenario.drain_step) {
+      drained = controller.DrainClass(scenario.drain_class);
+    }
+    controller.Ingest(samples);
+    ++step;
+  }
+
+  int moves = controller.total_moves();
+  bool all_safe = true;
+  for (const auto& e : controller.history()) {
+    all_safe = all_safe && e.migration_safe;
+  }
+  int on_legacy = 0;
+  for (int s : controller.assignment()) {
+    if (controller_config.base.fleet.ClassOf(s) == scenario.drain_class) ++on_legacy;
+  }
+  std::printf(
+      "generation-upgrade: drain(%s)=%s at step %d, re-solves=%zu, moves=%d, "
+      "staged-safe=%s, slots left on legacy=%d\n",
+      scenario.fleet.classes[scenario.drain_class].spec.name.c_str(),
+      drained ? "ok" : "REFUSED", scenario.drain_step,
+      controller.history().size(), moves, all_safe ? "yes" : "NO", on_legacy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
+  const int steps = smoke ? 24 : 96;
+
+  solve::SolveBudget budget;
+  budget.max_iterations = smoke ? 12000 : 30000;
+  budget.direct_evaluations = smoke ? 800 : 4000;
+  budget.probe_direct_evaluations = smoke ? 200 : 800;
+
+  bench::Banner("heterogeneous fleet consolidation (class-mix sweep, " +
+                std::to_string(steps) + " steps)");
+  SweepScenario(trace::FleetScenarioKind::kMixedGeneration, steps, budget);
+  SweepScenario(trace::FleetScenarioKind::kScaleUpVsScaleOut, steps, budget);
+
+  bench::Banner("generation-upgrade drain (online controller)");
+  GenerationUpgradeDrain(smoke ? 32 : 64);
+  return 0;
+}

@@ -10,7 +10,6 @@
 //
 // --smoke shrinks the horizon for CI.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench_common.h"
@@ -72,7 +71,7 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc >= 2 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::SmokeMode(argc, argv);
   const int steps = smoke ? 64 : 288;
 
   bench::Banner("online controller scenario sweep (" +

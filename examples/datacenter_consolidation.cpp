@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   core::ConsolidationProblem problem;
   problem.workloads = trace::ToProfiles(traces);
-  problem.target_machine = sim::MachineSpec::ConsolidationTarget();
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::ConsolidationTarget());
   problem.disk_model = &disk_model;
 
   core::EngineOptions options;

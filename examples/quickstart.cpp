@@ -76,7 +76,7 @@ int main() {
   problem.workloads.push_back(ProfileWorkload("sessions", 128, 200, 300, 3));
 
   // Step 4: consolidate onto Server1-class machines.
-  problem.target_machine = sim::MachineSpec::Server1();
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::Server1());
   core::ConsolidationEngine engine(problem, core::EngineOptions{});
   const core::ConsolidationPlan plan = engine.Solve();
 

@@ -46,7 +46,7 @@ int main() {
     problem.workloads.push_back(Profile("app" + std::to_string(i), 0.6, 10));
   }
 
-  problem.target_machine = sim::MachineSpec::ConsolidationTarget();
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::ConsolidationTarget());
   const core::ConsolidationPlan plan =
       core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
 

@@ -123,9 +123,24 @@ bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
   }
 
   // 2. DIRECT global probe with early stop at the first feasible value,
-  //    then a final repair pass.
-  const double feasible_threshold =
-      static_cast<double>(k) * (kServerCost + std::exp(1.0));
+  //    then a final repair pass. The probe encodes the fleet-order prefix
+  //    [0, k), so any feasible plan there costs at most the sum of those
+  //    servers' weighted server costs plus a balance tail of e each — a
+  //    looser bound (e.g. fleet-wide max weight) would let an infeasible
+  //    all-cheap-class plan pass as "feasible" and stop DIRECT early.
+  double feasible_threshold;
+  if (problem_.fleet.UniformMachines()) {
+    feasible_threshold =
+        static_cast<double>(k) *
+        (kServerCost * problem_.fleet.classes.front().cost_weight + std::exp(1.0));
+  } else {
+    double prefix_weight = 0.0;
+    for (int j = 0; j < k; ++j) {
+      prefix_weight += problem_.fleet.classes[problem_.fleet.ClassOf(j)].cost_weight;
+    }
+    feasible_threshold =
+        kServerCost * prefix_weight + static_cast<double>(k) * std::exp(1.0);
+  }
   int evals = 0;
   Assignment candidate = RunDirect(k, direct_budget, feasible_threshold, &evals);
   evaluations_ += evals;
@@ -147,8 +162,7 @@ ConsolidationPlan ConsolidationEngine::Solve() {
 
   const int num_slots = problem_.TotalSlots();
   if (num_slots == 0) return plan;
-  const int hard_cap =
-      problem_.max_servers > 0 ? problem_.max_servers : num_slots;
+  const int hard_cap = problem_.ServerCap();
 
   plan.fractional_lower_bound = FractionalLowerBound(problem_);
 
@@ -234,6 +248,22 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   polished.greedy_servers = plan.greedy_servers;
   plan = std::move(polished);
 
+  if (!problem_.fleet.Uniform() && greedy.feasible) {
+    // Bounded-K probes the declaration-order prefix [0, k) of the fleet's
+    // index space, which can never open a cheaper class declared late; the
+    // class-aware greedy baseline sees the whole fleet, so never return a
+    // plan worse than it. (Uniform fleets skip this: prefix order is
+    // immaterial there and the classic path stays bit-identical.)
+    ConsolidationPlan from_greedy = PolishPlan(greedy.assignment, hard_cap);
+    if ((from_greedy.feasible && !plan.feasible) ||
+        (from_greedy.feasible == plan.feasible &&
+         from_greedy.objective < plan.objective)) {
+      from_greedy.fractional_lower_bound = plan.fractional_lower_bound;
+      from_greedy.greedy_servers = plan.greedy_servers;
+      plan = std::move(from_greedy);
+    }
+  }
+
   plan.solver_evaluations = evaluations_;
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -298,6 +328,18 @@ ConsolidationPlan FinalizePlan(const ConsolidationProblem& problem,
       plan.servers_used > 0
           ? static_cast<double>(num_slots) / static_cast<double>(plan.servers_used)
           : 0.0;
+  plan.class_servers_used.assign(problem.fleet.num_classes(), 0);
+  for (const auto& c : problem.fleet.classes) plan.class_names.push_back(c.spec.name);
+  std::vector<char> used(k, 0);
+  for (int s : assignment) {
+    if (s >= 0 && s < k) used[s] = 1;
+  }
+  for (int j = 0; j < k; ++j) {
+    if (!used[j]) continue;
+    const int klass = problem.fleet.ClassOf(j);
+    plan.fleet_cost += problem.fleet.classes[klass].cost_weight;
+    ++plan.class_servers_used[klass];
+  }
   for (int j = 0; j < k; ++j) {
     Evaluator::ServerLoad load = final_ev.GetServerLoad(j);
     if (load.used) plan.server_loads.push_back(std::move(load));
@@ -313,6 +355,14 @@ std::string ConsolidationPlan::Render() const {
       << ":1, fractional bound " << fractional_lower_bound << ", greedy "
       << (greedy_servers >= 0 ? std::to_string(greedy_servers) : std::string("n/a"))
       << "), solve " << util::FormatDouble(solve_seconds, 2) << "s\n";
+  if (class_servers_used.size() > 1) {
+    out << "fleet cost " << util::FormatDouble(fleet_cost, 2) << ":";
+    for (size_t c = 0; c < class_servers_used.size(); ++c) {
+      out << " " << (c < class_names.size() ? class_names[c] : "class") << "="
+          << class_servers_used[c];
+    }
+    out << "\n";
+  }
   util::Table table({"server", "slots", "peak cpu (cores)", "peak ram (GB)",
                      "mean cpu", "p95 cpu"});
   for (size_t j = 0; j < server_loads.size(); ++j) {

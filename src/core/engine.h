@@ -53,6 +53,15 @@ struct ConsolidationPlan {
   double objective = 0;
   /// Source servers (slots) per consolidated server.
   double consolidation_ratio = 0;
+  /// Sum of the used servers' machine-class cost weights (== servers_used
+  /// for a homogeneous weight-1 fleet): the fleet-cost objective the
+  /// heterogeneous benches compare on.
+  double fleet_cost = 0;
+  /// Used-server count per fleet class, indexed like fleet.classes.
+  std::vector<int> class_servers_used;
+  /// Class names for Render(), one per fleet class (the per-class breakdown
+  /// is only rendered when there is more than one).
+  std::vector<std::string> class_names;
   int fractional_lower_bound = 0;
   /// Greedy baseline server count (-1 when greedy found nothing feasible).
   int greedy_servers = -1;

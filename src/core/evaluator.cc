@@ -11,6 +11,9 @@ namespace {
 /// points, so they share the violation penalty scale.
 constexpr double kAffinityUnit = 0.1;
 constexpr double kPinPenalty = 1e9;
+/// Relative-excess units charged per slot left on a drained machine class,
+/// so an evacuation always pays for itself but a pin still dominates.
+constexpr double kDrainedUnit = 0.25;
 }  // namespace
 
 Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
@@ -64,10 +67,16 @@ Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
   }
   has_migration_ = problem.migration_cost_weight > 0.0 && !slot_current_.empty();
 
-  cpu_full_ = problem.target_machine.StandardCores();
-  ram_full_ = static_cast<double>(problem.target_machine.ram_bytes);
-  cpu_capacity_ = cpu_full_ * problem.cpu_headroom;
-  ram_capacity_ = ram_full_ * problem.ram_headroom;
+  assert(!problem.fleet.classes.empty());
+  class_caps_ =
+      problem.fleet.ClassCapacities(problem.cpu_headroom, problem.ram_headroom);
+  class_weight_.reserve(problem.fleet.classes.size());
+  class_drained_.reserve(problem.fleet.classes.size());
+  for (const auto& c : problem.fleet.classes) {
+    class_weight_.push_back(c.cost_weight);
+    class_drained_.push_back(c.drained ? 1 : 0);
+  }
+  class_of_ = problem.fleet.ClassOfServers(max_servers_);
 }
 
 void Evaluator::Apply(ServerState* s, int slot, double sign) const {
@@ -88,12 +97,13 @@ void Evaluator::Apply(ServerState* s, int slot, double sign) const {
   s->count += sign > 0 ? 1 : -1;
 }
 
-double Evaluator::ServerCost(const ServerState& s) const {
+double Evaluator::ServerCost(const ServerState& s, int klass) const {
   if (s.count <= 0) return 0.0;
   const double overhead = problem_.per_instance_cpu_overhead_cores;
   const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
   const double wsum =
       problem_.cpu_weight + problem_.ram_weight + problem_.disk_weight;
+  const sim::EffectiveCapacity& cap = class_caps_[klass];
 
   double disk_cap = 0;
   const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
@@ -106,8 +116,8 @@ double Evaluator::ServerCost(const ServerState& s) const {
   for (int t = 0; t < num_samples_; ++t) {
     const double cpu = s.cpu[t] + overhead;
     const double ram = s.ram[t] + ram_overhead;
-    const double u_cpu = cpu / cpu_full_;
-    const double u_ram = ram / ram_full_;
+    const double u_cpu = cpu / cap.cpu_full_cores;
+    const double u_ram = ram / cap.ram_full_bytes;
     double u_disk = 0;
     if (has_disk && disk_cap > 0) u_disk = s.rate[t] / disk_cap;
 
@@ -117,22 +127,26 @@ double Evaluator::ServerCost(const ServerState& s) const {
                   wsum;
     exp_sum += std::exp(std::min(load, 1.0));
 
-    violation += std::max(0.0, cpu / cpu_capacity_ - 1.0);
-    violation += std::max(0.0, ram / ram_capacity_ - 1.0);
+    violation += std::max(0.0, cpu / cap.cpu_cores - 1.0);
+    violation += std::max(0.0, ram / cap.ram_bytes - 1.0);
     if (has_disk && disk_cap > 0) {
       violation +=
           std::max(0.0, s.rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
     }
   }
   violation /= static_cast<double>(num_samples_);
+  if (class_drained_[klass]) violation += s.count * kDrainedUnit;
 
-  double cost = kServerCost + exp_sum / static_cast<double>(num_samples_);
+  double cost = kServerCost * class_weight_[klass] +
+                exp_sum / static_cast<double>(num_samples_);
   if (violation > 1e-12) cost += kViolationBase + kViolationScale * violation;
   return cost;
 }
 
-void Evaluator::RecomputeServer(ServerState* s) const {
-  s->cost = ServerCost(*s);
+void Evaluator::RecomputeServer(int j) {
+  ServerState* s = &servers_[j];
+  const int klass = class_of_[j];
+  s->cost = ServerCost(*s, klass);
   // Extract the violation part for feasibility tracking.
   if (s->count <= 0) {
     s->violation = 0;
@@ -144,19 +158,21 @@ void Evaluator::RecomputeServer(ServerState* s) const {
   // To stay exact we recompute directly:
   const double overhead = problem_.per_instance_cpu_overhead_cores;
   const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
+  const sim::EffectiveCapacity& cap = class_caps_[klass];
   double disk_cap = 0;
   const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
   if (has_disk) disk_cap = problem_.disk_model->MaxSustainableRate(std::max(0.0, s->ws));
   double violation = 0;
   for (int t = 0; t < num_samples_; ++t) {
-    violation += std::max(0.0, (s->cpu[t] + overhead) / cpu_capacity_ - 1.0);
-    violation += std::max(0.0, (s->ram[t] + ram_overhead) / ram_capacity_ - 1.0);
+    violation += std::max(0.0, (s->cpu[t] + overhead) / cap.cpu_cores - 1.0);
+    violation += std::max(0.0, (s->ram[t] + ram_overhead) / cap.ram_bytes - 1.0);
     if (has_disk && disk_cap > 0) {
       violation +=
           std::max(0.0, s->rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
     }
   }
   s->violation = violation / static_cast<double>(num_samples_);
+  if (class_drained_[klass]) s->violation += s->count * kDrainedUnit;
 }
 
 double Evaluator::AffinityViolations(const std::vector<int>& assignment) const {
@@ -193,7 +209,7 @@ double Evaluator::Evaluate(const std::vector<int>& assignment) const {
     if (pin_of_slot_[s] >= 0 && pin_of_slot_[s] != j) pin_penalty += kPinPenalty;
   }
   double cost = pin_penalty;
-  for (auto& srv : servers) cost += ServerCost(srv);
+  for (int j = 0; j < max_servers_; ++j) cost += ServerCost(servers[j], class_of_[j]);
   const double aff = AffinityViolations(assignment);
   if (aff > 0) cost += aff * (kViolationBase + kViolationScale * kAffinityUnit);
   if (has_migration_) {
@@ -209,10 +225,10 @@ void Evaluator::Load(const std::vector<int>& assignment) {
   for (int s = 0; s < num_slots_; ++s) Apply(&servers_[assignment[s]], s, +1.0);
   current_cost_ = 0;
   total_violation_ = 0;
-  for (auto& srv : servers_) {
-    RecomputeServer(&srv);
-    current_cost_ += srv.cost;
-    total_violation_ += srv.violation;
+  for (int j = 0; j < max_servers_; ++j) {
+    RecomputeServer(j);
+    current_cost_ += servers_[j].cost;
+    total_violation_ += servers_[j].violation;
   }
   const double aff = AffinityViolations(assignment_);
   if (aff > 0) {
@@ -260,8 +276,8 @@ double Evaluator::MoveDelta(int slot, int to) const {
   ServerState to_copy = servers_[to];
   Apply(&to_copy, slot, +1.0);
 
-  double delta = ServerCost(from_copy) - servers_[from].cost +
-                 ServerCost(to_copy) - servers_[to].cost;
+  double delta = ServerCost(from_copy, class_of_[from]) - servers_[from].cost +
+                 ServerCost(to_copy, class_of_[to]) - servers_[to].cost;
   delta += (SlotAffinity(slot, to) - SlotAffinity(slot, from)) *
            (kViolationBase + kViolationScale * kAffinityUnit);
   delta += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
@@ -281,8 +297,8 @@ void Evaluator::ApplyMove(int slot, int to) {
   Apply(&servers_[from], slot, -1.0);
   Apply(&servers_[to], slot, +1.0);
   assignment_[slot] = to;
-  RecomputeServer(&servers_[from]);
-  RecomputeServer(&servers_[to]);
+  RecomputeServer(from);
+  RecomputeServer(to);
   total_violation_ += servers_[from].violation + servers_[to].violation;
   total_violation_ += affinity_delta * kAffinityUnit;
 }

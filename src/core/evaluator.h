@@ -1,12 +1,15 @@
 // Objective function and constraint evaluation (the landscape of Figure 5):
-//   minimize  sum_j [ used_j * (C_server + mean_t exp(load_tj)) + penalty_j ]
-// where load_tj is the normalized weighted resource utilization of server j
-// at time t, C_server makes one fewer server always preferable to any
-// rebalancing, and penalty_j spikes when capacity, replication, or
-// anti-affinity constraints are violated. When the problem carries an
-// incumbent placement (current_assignment + migration_cost_weight), a
-// migration term additionally charges every slot placed away from its
-// current server, making re-solves move-averse (the src/online/ loop).
+//   minimize  sum_j [ used_j * (w_j * C_server + mean_t exp(load_tj)) + penalty_j ]
+// where load_tj is the utilization of server j at time t normalized by j's
+// *own* machine-class capacity (the problem's sim::FleetSpec), w_j is the
+// class's cost weight — so minimizing the objective prefers fewer *and
+// cheaper* servers — and penalty_j spikes when capacity, replication,
+// anti-affinity, or class-drain constraints are violated. A FleetSpec of
+// identical machines at weight 1 reproduces the homogeneous objective
+// bit-for-bit. When the problem carries an incumbent placement
+// (current_assignment + migration_cost_weight), a migration term
+// additionally charges every slot placed away from its current server,
+// making re-solves move-averse (the src/online/ loop).
 //
 // Supports both one-shot evaluation (for DIRECT) and cached incremental
 // move evaluation (for the local-search polish).
@@ -22,7 +25,8 @@ namespace kairos::core {
 
 /// Weight of one used server in the objective: dominates any balance
 /// improvement, so minimizing the objective minimizes server count first
-/// (the paper's signum term).
+/// (the paper's signum term). Scaled by the server's machine-class
+/// cost_weight in heterogeneous fleets.
 inline constexpr double kServerCost = 1e3;
 /// Fixed penalty for a server with any constraint violation.
 inline constexpr double kViolationBase = 2e3;
@@ -80,9 +84,15 @@ class Evaluator {
   /// Snapshot of server `j`'s load (requires Load()).
   ServerLoad GetServerLoad(int j) const;
 
-  /// Capacities after headroom.
-  double cpu_capacity() const { return cpu_capacity_; }
-  double ram_capacity_bytes() const { return ram_capacity_; }
+  /// Capacities after headroom, per server (machine-class dependent).
+  double cpu_capacity(int server = 0) const {
+    return class_caps_[class_of_[server]].cpu_cores;
+  }
+  double ram_capacity_bytes(int server = 0) const {
+    return class_caps_[class_of_[server]].ram_bytes;
+  }
+  /// Machine class of a server (index into the problem's fleet classes).
+  int ClassOfServer(int server) const { return class_of_[server]; }
 
  private:
   struct ServerState {
@@ -95,10 +105,10 @@ class Evaluator {
     double violation = 0;      // cached relative excess
   };
 
-  /// Recomputes one server's cached cost + violation from its sums.
-  void RecomputeServer(ServerState* s) const;
-  /// Cost contribution of a server state (stateless helper).
-  double ServerCost(const ServerState& s) const;
+  /// Recomputes server `j`'s cached cost + violation from its sums.
+  void RecomputeServer(int j);
+  /// Cost contribution of a server state on a server of class `klass`.
+  double ServerCost(const ServerState& s, int klass) const;
   /// Adds/removes slot series into a server state.
   void Apply(ServerState* s, int slot, double sign) const;
   /// Anti-affinity violation count for the cached assignment.
@@ -128,10 +138,12 @@ class Evaluator {
   std::vector<int> slot_current_;       // incumbent server per slot
   std::vector<double> slot_move_cost_;  // per-slot move cost
 
-  double cpu_capacity_ = 0;   // cores * headroom
-  double ram_capacity_ = 0;   // bytes * headroom
-  double cpu_full_ = 0;       // cores (for normalized load)
-  double ram_full_ = 0;
+  // Per-class headroomed capacities, cost weights, drain flags, and the
+  // server -> class map (all derived from the problem's FleetSpec).
+  std::vector<sim::EffectiveCapacity> class_caps_;
+  std::vector<double> class_weight_;
+  std::vector<char> class_drained_;
+  std::vector<int> class_of_;
 
   // Incremental cache.
   std::vector<int> assignment_;

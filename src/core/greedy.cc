@@ -43,12 +43,86 @@ struct SlotData {
   int num_slots() const { return static_cast<int>(ws.size()); }
 };
 
+/// Per-server view of the problem's fleet within a server cap: headroomed
+/// capacities per class, the server -> class map, and the cheap-first order
+/// in which the packers open servers.
+struct FleetView {
+  int cap = 0;
+  std::vector<sim::EffectiveCapacity> caps;  // per class
+  std::vector<double> weight;                // per class
+  std::vector<char> drained;                 // per class
+  std::vector<int> class_of;                 // per server in [0, cap)
+  std::vector<int> open_order;               // server indices, cheap first
+
+  FleetView(const ConsolidationProblem& p, int server_cap)
+      : cap(server_cap),
+        caps(p.fleet.ClassCapacities(p.cpu_headroom, p.ram_headroom)),
+        class_of(p.fleet.ClassOfServers(server_cap)) {
+    weight.reserve(p.fleet.classes.size());
+    drained.reserve(p.fleet.classes.size());
+    for (const auto& c : p.fleet.classes) {
+      weight.push_back(c.cost_weight);
+      drained.push_back(c.drained ? 1 : 0);
+    }
+    // Cheapest class first ("fill cheap classes first"); stable, so the
+    // uniform fleet keeps the classic ascending-index open order.
+    open_order.resize(cap);
+    std::iota(open_order.begin(), open_order.end(), 0);
+    std::stable_sort(open_order.begin(), open_order.end(), [&](int a, int b) {
+      return weight[class_of[a]] < weight[class_of[b]];
+    });
+  }
+
+  /// Alternative open order: best capacity-per-cost first (a scale-up
+  /// packing — open the dense boxes first even though each costs more).
+  std::vector<int> DenseOrder() const {
+    const sim::EffectiveCapacity best = BestClass();
+    // Cost per unit of combined normalized capacity; lower is denser value.
+    auto score = [&](int j) {
+      const sim::EffectiveCapacity& c = caps[class_of[j]];
+      const double capacity = c.cpu_cores / std::max(1e-9, best.cpu_cores) +
+                              c.ram_bytes / std::max(1e-9, best.ram_bytes);
+      return weight[class_of[j]] / std::max(1e-9, capacity);
+    };
+    std::vector<int> order(cap);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return score(a) < score(b); });
+    return order;
+  }
+
+  double CpuCap(int j) const { return caps[class_of[j]].cpu_cores; }
+  double RamCap(int j) const { return caps[class_of[j]].ram_bytes; }
+  bool Drained(int j) const { return drained[class_of[j]] != 0; }
+
+  /// Largest headroomed capacities across classes (reference machine for
+  /// difficulty ordering and the fractional bound).
+  sim::EffectiveCapacity BestClass() const {
+    sim::EffectiveCapacity best;
+    for (const auto& c : caps) {
+      best.cpu_full_cores = std::max(best.cpu_full_cores, c.cpu_full_cores);
+      best.ram_full_bytes = std::max(best.ram_full_bytes, c.ram_full_bytes);
+      best.cpu_cores = std::max(best.cpu_cores, c.cpu_cores);
+      best.ram_bytes = std::max(best.ram_bytes, c.ram_bytes);
+    }
+    return best;
+  }
+};
+
 /// Accumulated load of one open server during packing.
 struct Bin {
+  bool open = false;
   std::vector<double> cpu, ram, rate;
   double ws = 0;
   double mean_load = 0;  // for "most loaded" ordering
   std::vector<int> slots;
+
+  void Open(int samples) {
+    open = true;
+    cpu.assign(samples, 0.0);
+    ram.assign(samples, 0.0);
+    rate.assign(samples, 0.0);
+  }
 };
 
 double PeakOf(const std::vector<double>& v) {
@@ -75,13 +149,10 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   result.packed_by = r;
   const SlotData data(problem);
   const int num_slots = data.num_slots();
-  if (max_servers <= 0) max_servers = num_slots;
   if (num_slots == 0) return result;
+  const FleetView fleet(problem, std::max(1, problem.ServerCap(max_servers)));
 
-  const double cpu_cap =
-      problem.target_machine.StandardCores() * problem.cpu_headroom;
-  const double ram_cap =
-      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom -
+  const double ram_overhead =
       static_cast<double>(problem.instance_ram_overhead_bytes);
   const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
   if (r == Resource::kDisk && !has_disk) return result;  // cannot pack by disk
@@ -103,21 +174,25 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   std::sort(order.begin(), order.end(),
             [&](int a, int b) { return peak(a) > peak(b); });
 
-  std::vector<Bin> bins;
+  std::vector<Bin> bins(fleet.cap);
   std::vector<int> assignment(num_slots, -1);
+  int open_count = 0;
 
-  auto fits = [&](const Bin& bin, int s) {
+  Bin empty_bin;
+  empty_bin.Open(data.samples);
+  auto fits = [&](const Bin& bin, int j, int s) {
     switch (r) {
       case Resource::kCpu: {
         for (int t = 0; t < data.samples; ++t) {
           if (bin.cpu[t] + data.cpu[s][t] + problem.per_instance_cpu_overhead_cores >
-              cpu_cap) {
+              fleet.CpuCap(j)) {
             return false;
           }
         }
         return true;
       }
       case Resource::kRam: {
+        const double ram_cap = fleet.RamCap(j) - ram_overhead;
         for (int t = 0; t < data.samples; ++t) {
           if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
         }
@@ -136,29 +211,41 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   };
 
   for (int s : order) {
-    // Most-loaded bin where it fits (and no replica of the same workload).
+    // Most-loaded open server where it fits (and no replica of the same
+    // workload).
     int best = -1;
     double best_load = -1;
-    for (size_t b = 0; b < bins.size(); ++b) {
+    for (int j = 0; j < fleet.cap; ++j) {
+      if (!bins[j].open) continue;
       bool conflict = false;
-      for (int other : bins[b].slots) {
+      for (int other : bins[j].slots) {
         if (data.workload[other] == data.workload[s]) conflict = true;
       }
-      if (conflict || !fits(bins[b], s)) continue;
-      if (bins[b].mean_load > best_load) {
-        best_load = bins[b].mean_load;
-        best = static_cast<int>(b);
+      if (conflict || !fits(bins[j], j, s)) continue;
+      if (bins[j].mean_load > best_load) {
+        best_load = bins[j].mean_load;
+        best = j;
       }
     }
     if (best < 0) {
-      if (static_cast<int>(bins.size()) >= max_servers) {
+      // Open the cheapest unopened server the slot fits on; when it fits
+      // nowhere alone, still open the cheapest (post-hoc feasibility check
+      // rejects the packing, matching the classic behaviour).
+      int fallback = -1;
+      for (int j : fleet.open_order) {
+        if (bins[j].open || fleet.Drained(j)) continue;
+        if (fallback < 0) fallback = j;
+        if (fits(empty_bin, j, s)) {
+          best = j;
+          break;
+        }
+      }
+      if (best < 0) best = fallback;
+      if (best < 0) {
         return result;  // cannot pack within the server budget -> infeasible
       }
-      bins.emplace_back();
-      bins.back().cpu.assign(data.samples, 0.0);
-      bins.back().ram.assign(data.samples, 0.0);
-      bins.back().rate.assign(data.samples, 0.0);
-      best = static_cast<int>(bins.size()) - 1;
+      bins[best].Open(data.samples);
+      ++open_count;
     }
     Bin& bin = bins[best];
     double sum = 0;
@@ -185,9 +272,10 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   }
 
   result.assignment.server_of_slot = assignment;
-  result.servers_used = static_cast<int>(bins.size());
-  // Full feasibility check against every constraint.
-  Evaluator ev(problem, std::max(result.servers_used, 1));
+  result.servers_used = open_count;
+  // Full feasibility check against every constraint (at the full cap:
+  // heterogeneous fleets may use non-contiguous server indices).
+  Evaluator ev(problem, fleet.cap);
   ev.Load(assignment);
   result.feasible = ev.IsFeasible();
   return result;
@@ -213,22 +301,22 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
     if (feasible) *feasible = true;
     return out;
   }
-  if (max_servers <= 0) max_servers = num_slots;
+  const FleetView fleet(problem, std::max(1, problem.ServerCap(max_servers)));
 
-  const double cpu_cap =
-      problem.target_machine.StandardCores() * problem.cpu_headroom -
-      problem.per_instance_cpu_overhead_cores;
-  const double ram_cap =
-      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom -
+  const double cpu_overhead = problem.per_instance_cpu_overhead_cores;
+  const double ram_overhead =
       static_cast<double>(problem.instance_ram_overhead_bytes);
   const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
 
-  // Hardest-first: biggest normalized peak across resources.
+  // Hardest-first: biggest peak normalized by the best class's capacity.
+  const sim::EffectiveCapacity best_class = fleet.BestClass();
+  const double ref_cpu_cap = best_class.cpu_cores - cpu_overhead;
+  const double ref_ram_cap = best_class.ram_bytes - ram_overhead;
   std::vector<int> order(num_slots);
   std::iota(order.begin(), order.end(), 0);
   auto difficulty = [&](int s) {
-    double d = PeakOf(data.cpu[s]) / std::max(1e-9, cpu_cap);
-    d = std::max(d, PeakOf(data.ram[s]) / std::max(1e-9, ram_cap));
+    double d = PeakOf(data.cpu[s]) / std::max(1e-9, ref_cpu_cap);
+    d = std::max(d, PeakOf(data.ram[s]) / std::max(1e-9, ref_ram_cap));
     if (has_disk) {
       const double cap = problem.disk_model->MaxSustainableRate(data.ws[s]);
       if (cap > 0) d = std::max(d, PeakOf(data.rate[s]) / cap);
@@ -238,68 +326,114 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
   std::sort(order.begin(), order.end(),
             [&](int a, int b) { return difficulty(a) > difficulty(b); });
 
-  std::vector<Bin> bins;
-  auto fits_all = [&](const Bin& bin, int s) {
-    for (int other : bin.slots) {
-      if (data.workload[other] == data.workload[s]) return false;
-    }
-    for (int t = 0; t < data.samples; ++t) {
-      if (bin.cpu[t] + data.cpu[s][t] > cpu_cap) return false;
-      if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
-    }
-    if (has_disk) {
-      const double cap = problem.disk_headroom *
-                         problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
-      for (int t = 0; t < data.samples; ++t) {
-        if (bin.rate[t] + data.rate[s][t] > cap) return false;
-      }
-    }
-    return true;
-  };
+  Bin empty_bin;
+  empty_bin.Open(data.samples);
 
-  bool clean = true;
-  for (int s : order) {
-    int best = -1;
-    double best_load = -1;
-    for (size_t b = 0; b < bins.size(); ++b) {
-      if (!fits_all(bins[b], s)) continue;
-      if (bins[b].mean_load > best_load) {
-        best_load = bins[b].mean_load;
-        best = static_cast<int>(b);
+  // One hardest-first best-fit packing pass, opening servers in
+  // `open_order`. Returns the assignment and whether the packing stayed
+  // within the server budget.
+  auto pack = [&](const std::vector<int>& open_order) {
+    std::vector<Bin> bins(fleet.cap);
+    std::vector<int> assignment(num_slots, 0);
+    auto fits_all = [&](const Bin& bin, int j, int s) {
+      for (int other : bin.slots) {
+        if (data.workload[other] == data.workload[s]) return false;
       }
-    }
-    if (best < 0) {
-      if (static_cast<int>(bins.size()) < max_servers) {
-        bins.emplace_back();
-        bins.back().cpu.assign(data.samples, 0.0);
-        bins.back().ram.assign(data.samples, 0.0);
-        bins.back().rate.assign(data.samples, 0.0);
-        best = static_cast<int>(bins.size()) - 1;
-      } else {
-        // Server budget exhausted: drop onto the least-loaded bin.
-        clean = false;
-        double least = 1e300;
-        for (size_t b = 0; b < bins.size(); ++b) {
-          if (bins[b].mean_load < least) {
-            least = bins[b].mean_load;
-            best = static_cast<int>(b);
-          }
+      const double cpu_cap = fleet.CpuCap(j) - cpu_overhead;
+      const double ram_cap = fleet.RamCap(j) - ram_overhead;
+      for (int t = 0; t < data.samples; ++t) {
+        if (bin.cpu[t] + data.cpu[s][t] > cpu_cap) return false;
+        if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
+      }
+      if (has_disk) {
+        const double cap = problem.disk_headroom *
+                           problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
+        for (int t = 0; t < data.samples; ++t) {
+          if (bin.rate[t] + data.rate[s][t] > cap) return false;
         }
       }
+      return true;
+    };
+
+    bool clean = true;
+    for (int s : order) {
+      int best = -1;
+      double best_load = -1;
+      bool any_open = false;
+      for (int j = 0; j < fleet.cap; ++j) {
+        if (!bins[j].open) continue;
+        any_open = true;
+        if (!fits_all(bins[j], j, s)) continue;
+        if (bins[j].mean_load > best_load) {
+          best_load = bins[j].mean_load;
+          best = j;
+        }
+      }
+      if (best < 0) {
+        // Open the first non-drained server (in open_order) the slot fits
+        // on; fall back to the first unopened one.
+        int fallback = -1;
+        for (int j : open_order) {
+          if (bins[j].open || fleet.Drained(j)) continue;
+          if (fallback < 0) fallback = j;
+          if (fits_all(empty_bin, j, s)) {
+            best = j;
+            break;
+          }
+        }
+        if (best < 0) best = fallback;
+        if (best >= 0) {
+          bins[best].Open(data.samples);
+        } else if (any_open) {
+          // Server budget exhausted: drop onto the least-loaded open server.
+          clean = false;
+          double least = 1e300;
+          for (int j = 0; j < fleet.cap; ++j) {
+            if (bins[j].open && bins[j].mean_load < least) {
+              least = bins[j].mean_load;
+              best = j;
+            }
+          }
+        } else {
+          // Degenerate fleet (everything drained): open the first server
+          // anyway so the assignment is complete; the evaluator flags it.
+          clean = false;
+          best = open_order[0];
+          bins[best].Open(data.samples);
+        }
+      }
+      Bin& bin = bins[best];
+      double sum = 0;
+      const double cpu_cap = fleet.CpuCap(best) - cpu_overhead;
+      const double ram_cap = fleet.RamCap(best) - ram_overhead;
+      for (int t = 0; t < data.samples; ++t) {
+        bin.cpu[t] += data.cpu[s][t];
+        bin.ram[t] += data.ram[s][t];
+        bin.rate[t] += data.rate[s][t];
+        sum += bin.cpu[t] / std::max(1e-9, cpu_cap) + bin.ram[t] / std::max(1e-9, ram_cap);
+      }
+      bin.ws += data.ws[s];
+      bin.mean_load = sum / data.samples;
+      bin.slots.push_back(s);
+      assignment[s] = best;
     }
-    Bin& bin = bins[best];
-    double sum = 0;
-    for (int t = 0; t < data.samples; ++t) {
-      bin.cpu[t] += data.cpu[s][t];
-      bin.ram[t] += data.ram[s][t];
-      bin.rate[t] += data.rate[s][t];
-      sum += bin.cpu[t] / std::max(1e-9, cpu_cap) + bin.ram[t] / std::max(1e-9, ram_cap);
+    return std::make_pair(assignment, clean);
+  };
+
+  auto [assignment, clean] = pack(fleet.open_order);
+  if (!problem.fleet.Uniform()) {
+    // Heterogeneous fleets: cheap-first (scale-out) vs capacity-per-cost
+    // (scale-up) open orders reach very different packings; keep the one
+    // the objective prefers. Never runs on uniform fleets, where the two
+    // orders coincide — the classic path stays bit-identical.
+    auto [dense_assignment, dense_clean] = pack(fleet.DenseOrder());
+    Evaluator ev(problem, fleet.cap);
+    if (ev.Evaluate(dense_assignment) < ev.Evaluate(assignment)) {
+      assignment = std::move(dense_assignment);
+      clean = dense_clean;
     }
-    bin.ws += data.ws[s];
-    bin.mean_load = sum / data.samples;
-    bin.slots.push_back(s);
-    out.server_of_slot[s] = best;
   }
+  out.server_of_slot = std::move(assignment);
   if (feasible) *feasible = clean;
   return out;
 }
@@ -321,10 +455,14 @@ int FractionalLowerBound(const ConsolidationProblem& problem) {
     }
     ws += data.ws[s];
   }
-  const double cpu_cap =
-      problem.target_machine.StandardCores() * problem.cpu_headroom;
-  const double ram_cap =
-      static_cast<double>(problem.target_machine.ram_bytes) * problem.ram_headroom;
+  // Idealized: every server is as large as the fleet's best class, so the
+  // bound stays valid for any class mix.
+  double cpu_cap = 0, ram_cap = 0;
+  for (const sim::EffectiveCapacity& c :
+       problem.fleet.ClassCapacities(problem.cpu_headroom, problem.ram_headroom)) {
+    cpu_cap = std::max(cpu_cap, c.cpu_cores);
+    ram_cap = std::max(ram_cap, c.ram_bytes);
+  }
 
   int k = 1;
   k = std::max(k, static_cast<int>(std::ceil(PeakOf(cpu) / cpu_cap)));

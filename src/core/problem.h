@@ -4,13 +4,14 @@
 #ifndef KAIROS_CORE_PROBLEM_H_
 #define KAIROS_CORE_PROBLEM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "model/disk_model.h"
 #include "monitor/profile.h"
-#include "sim/machine.h"
+#include "sim/fleet.h"
 
 namespace kairos::core {
 
@@ -20,12 +21,16 @@ struct ConsolidationProblem {
   /// are honoured.
   std::vector<monitor::WorkloadProfile> workloads;
 
-  /// Target machine type (homogeneous; heterogeneous sources are already
-  /// normalized to standard cores in the profiles).
-  sim::MachineSpec target_machine = sim::MachineSpec::ConsolidationTarget();
+  /// Target fleet: ordered machine classes defining the server index space
+  /// (heterogeneous *sources* are already normalized to standard cores in
+  /// the profiles; this is the heterogeneous *target* side). The default is
+  /// the pre-fleet setup — unbounded identical consolidation targets.
+  sim::FleetSpec fleet =
+      sim::FleetSpec::Homogeneous(sim::MachineSpec::ConsolidationTarget());
 
   /// Hard cap on servers the solver may use (defaults to one per workload
-  /// replica when 0).
+  /// replica when 0). The fleet's total server count, when bounded, caps it
+  /// further — see ServerCap().
   int max_servers = 0;
 
   /// Disk model for the target machine's configuration. May be null, in
@@ -73,6 +78,24 @@ struct ConsolidationProblem {
     int slots = 0;
     for (const auto& w : workloads) slots += w.replicas;
     return slots;
+  }
+
+  /// Upper bound on usable server indices. A bounded fleet *is* the server
+  /// pool: its total count is the default and max_servers can only shrink
+  /// it. With an unbounded fleet the classic rule applies — max_servers, or
+  /// one server per slot when 0.
+  int ServerCap() const { return ServerCap(max_servers); }
+
+  /// Same rule with an explicit max_servers override (<= 0 = unset), for
+  /// callers that bound the pool per call (greedy packers, the online
+  /// controller's num_servers knob).
+  int ServerCap(int max_servers_override) const {
+    const int fleet_total = fleet.TotalServers();
+    if (fleet_total > 0) {
+      return max_servers_override > 0 ? std::min(max_servers_override, fleet_total)
+                                      : fleet_total;
+    }
+    return max_servers_override > 0 ? max_servers_override : TotalSlots();
   }
 };
 

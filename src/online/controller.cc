@@ -1,5 +1,6 @@
 #include "online/controller.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <sstream>
@@ -26,8 +27,9 @@ ConsolidationController::ConsolidationController(const ControllerConfig& config)
                config.sample_interval_seconds),
       drift_(config.drift) {
   assert(!config.base.workloads.empty());
-  active_servers_ =
-      config.num_servers > 0 ? config.num_servers : config_.base.TotalSlots();
+  // A bounded fleet is the server pool; num_servers can only shrink it
+  // (with an unbounded fleet the classic one-per-slot default applies).
+  active_servers_ = config_.base.ServerCap(config.num_servers);
   // The template's series are dead weight (rolling profiles replace them in
   // every snapshot); drop them so per-control-step problem copies stay cheap.
   for (auto& w : config_.base.workloads) {
@@ -86,6 +88,10 @@ int ConsolidationController::RunToEnd(TelemetryFeed* feed) {
 
 bool ConsolidationController::DrainHighestServer() {
   if (active_servers_ <= 1) return false;
+  // The relabel below swaps server indices, which is only meaning-preserving
+  // when every server is the same machine. Heterogeneous fleets drain whole
+  // classes instead (DrainClass).
+  if (!config_.base.fleet.Uniform()) return false;
   if (assignment_.empty()) {  // nothing placed yet: just shrink the fleet
     --active_servers_;
     return true;
@@ -111,6 +117,36 @@ bool ConsolidationController::DrainHighestServer() {
   }
   --active_servers_;
   RunControl("node-drain");
+  return true;
+}
+
+bool ConsolidationController::DrainClass(int class_index) {
+  sim::FleetSpec& fleet = config_.base.fleet;
+  if (class_index < 0 || class_index >= fleet.num_classes()) return false;
+  if (fleet.classes[class_index].drained) return false;
+  // At least one usable (non-drained) server must remain within the cap.
+  bool usable_remains = false;
+  for (int j = 0; j < active_servers_; ++j) {
+    const int klass = fleet.ClassOf(j);
+    if (klass != class_index && !fleet.classes[klass].drained) {
+      usable_remains = true;
+      break;
+    }
+  }
+  if (!usable_remains) return false;
+  // Evacuating a pinned workload is never valid: refuse, like the
+  // single-server drain does.
+  for (const auto& w : config_.base.workloads) {
+    if (w.pinned_server >= 0 && fleet.ClassOf(w.pinned_server) == class_index) {
+      return false;
+    }
+  }
+  fleet.classes[class_index].drained = true;
+  if (assignment_.empty()) return true;  // nothing placed yet
+  // Server indices stay stable (unlike the homogeneous relabel trick): the
+  // evaluator now penalizes every slot left on the class, so the forced
+  // re-solve evacuates it and the migration planner sequences the moves.
+  RunControl("class-drain:" + fleet.classes[class_index].spec.name);
   return true;
 }
 

@@ -112,9 +112,18 @@ class ConsolidationController {
 
   /// Retires the highest-indexed server *in use*: shrinks the fleet by one
   /// and forces an evacuating re-solve. Returns false without draining when
-  /// only one server remains or a workload is pinned to an affected server
-  /// (a pinned-server drain needs an operator decision, not a relabel).
+  /// only one server remains, a workload is pinned to an affected server
+  /// (a pinned-server drain needs an operator decision, not a relabel), or
+  /// the fleet mixes machine classes (the relabel trick assumes identical
+  /// machines — use DrainClass for heterogeneous fleets).
   bool DrainHighestServer();
+
+  /// Class-targeted drain ("evacuate all server1-generation nodes"): marks
+  /// every server of fleet class `class_index` drained and forces an
+  /// evacuating re-solve. Returns false without draining when the index is
+  /// invalid or already drained, no usable server would remain, or a
+  /// workload is pinned to a server of the class.
+  bool DrainClass(int class_index);
 
   /// Incumbent placement (empty before the bootstrap solve).
   const std::vector<int>& assignment() const { return assignment_; }

@@ -65,14 +65,15 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
   // The usable fleet (spare servers are legitimate bounce targets). The
   // ledger additionally covers stranded source indices (e.g. a drained
   // server) so their loads are accounted for, but bounces never land there.
-  const int fleet = problem.max_servers > 0 ? problem.max_servers : num_slots;
+  // Per-server capacities follow the problem's FleetSpec machine classes.
+  const int fleet = problem.ServerCap();
   int num_servers = fleet;
   for (int s = 0; s < num_slots; ++s) {
     num_servers = std::max({num_servers, from[s] + 1, to[s] + 1});
   }
 
   sim::CapacityLedger ledger(
-      problem.target_machine, num_servers, static_cast<int>(samples),
+      problem.fleet, num_servers, static_cast<int>(samples),
       problem.cpu_headroom, problem.ram_headroom,
       static_cast<double>(problem.instance_ram_overhead_bytes));
 
@@ -136,6 +137,8 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
       for (int slot : pending) {
         for (int s = 0; s < fleet && !bounced; ++s) {
           if (s == state[slot] || s == to[slot]) continue;
+          // Never detour through a drained machine class.
+          if (problem.fleet.DrainedServer(s)) continue;
           if (affinity_ok(slot, s) &&
               ledger.CanAdd(s, slot_cpu[slot], slot_ram[slot])) {
             ledger.Add(s, slot_cpu[slot], slot_ram[slot]);

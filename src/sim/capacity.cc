@@ -5,17 +5,30 @@
 
 namespace kairos::sim {
 
-CapacityLedger::CapacityLedger(const MachineSpec& machine, int num_servers,
+CapacityLedger::CapacityLedger(const FleetSpec& fleet, int num_servers,
                                int samples, double cpu_headroom,
                                double ram_headroom, double ram_overhead_bytes)
-    : samples_(samples),
-      cpu_capacity_(machine.StandardCores() * cpu_headroom),
-      ram_capacity_(static_cast<double>(machine.ram_bytes) * ram_headroom -
-                    ram_overhead_bytes) {
-  assert(num_servers >= 0 && samples >= 1);
+    : samples_(samples) {
+  assert(num_servers >= 0 && samples >= 1 && !fleet.classes.empty());
+  const std::vector<EffectiveCapacity> caps =
+      fleet.ClassCapacities(cpu_headroom, ram_headroom);
+  const std::vector<int> class_of = fleet.ClassOfServers(num_servers);
+  cpu_capacity_.reserve(num_servers);
+  ram_capacity_.reserve(num_servers);
+  for (int j = 0; j < num_servers; ++j) {
+    const EffectiveCapacity& cap = caps[class_of[j]];
+    cpu_capacity_.push_back(cap.cpu_cores);
+    ram_capacity_.push_back(cap.ram_bytes - ram_overhead_bytes);
+  }
   cpu_.assign(num_servers, std::vector<double>(samples_, 0.0));
   ram_.assign(num_servers, std::vector<double>(samples_, 0.0));
 }
+
+CapacityLedger::CapacityLedger(const MachineSpec& machine, int num_servers,
+                               int samples, double cpu_headroom,
+                               double ram_headroom, double ram_overhead_bytes)
+    : CapacityLedger(FleetSpec::Homogeneous(machine), num_servers, samples,
+                     cpu_headroom, ram_headroom, ram_overhead_bytes) {}
 
 bool CapacityLedger::CanAdd(int server, const std::vector<double>& cpu_cores,
                             const std::vector<double>& ram_bytes) const {
@@ -25,8 +38,8 @@ bool CapacityLedger::CanAdd(int server, const std::vector<double>& cpu_cores,
   const auto& cpu = cpu_[server];
   const auto& ram = ram_[server];
   for (int t = 0; t < samples_; ++t) {
-    if (cpu[t] + cpu_cores[t] > cpu_capacity_) return false;
-    if (ram[t] + ram_bytes[t] > ram_capacity_) return false;
+    if (cpu[t] + cpu_cores[t] > cpu_capacity_[server]) return false;
+    if (ram[t] + ram_bytes[t] > ram_capacity_[server]) return false;
   }
   return true;
 }
@@ -53,7 +66,7 @@ double CapacityLedger::PeakCpuFraction(int server) const {
   assert(server >= 0 && server < num_servers());
   const double peak =
       *std::max_element(cpu_[server].begin(), cpu_[server].end());
-  return cpu_capacity_ > 0 ? peak / cpu_capacity_ : 0.0;
+  return cpu_capacity_[server] > 0 ? peak / cpu_capacity_[server] : 0.0;
 }
 
 }  // namespace kairos::sim

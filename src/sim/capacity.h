@@ -3,12 +3,15 @@
 // its headroom-adjusted capacity. The online migration planner uses it as
 // the mid-migration spill check: during a staged re-placement a slot is
 // only allowed to land on a server whose ledger (incumbent load plus moves
-// already admitted) stays within capacity.
+// already admitted) stays within capacity. Each server's capacity comes
+// from its machine class in the FleetSpec, so mixed-generation fleets are
+// checked against the right per-server limits.
 #ifndef KAIROS_SIM_CAPACITY_H_
 #define KAIROS_SIM_CAPACITY_H_
 
 #include <vector>
 
+#include "sim/fleet.h"
 #include "sim/machine.h"
 
 namespace kairos::sim {
@@ -18,7 +21,14 @@ class CapacityLedger {
  public:
   /// `samples` is the common series length; every Add/Remove/CanAdd series
   /// must have at least that many samples. `ram_overhead_bytes` is charged
-  /// once per server (the consolidated DBMS instance).
+  /// once per server (the consolidated DBMS instance). Server `j`'s
+  /// capacity is that of `fleet.ClassOf(j)` — indices past a bounded fleet
+  /// clamp to the last class (stranded labels, e.g. a drained server).
+  CapacityLedger(const FleetSpec& fleet, int num_servers, int samples,
+                 double cpu_headroom, double ram_headroom,
+                 double ram_overhead_bytes);
+
+  /// Homogeneous convenience: every server is one `machine`.
   CapacityLedger(const MachineSpec& machine, int num_servers, int samples,
                  double cpu_headroom, double ram_headroom,
                  double ram_overhead_bytes);
@@ -41,8 +51,8 @@ class CapacityLedger {
 
  private:
   int samples_;
-  double cpu_capacity_;  // cores * headroom
-  double ram_capacity_;  // bytes * headroom - per-server instance overhead
+  std::vector<double> cpu_capacity_;  // per server: cores * headroom
+  std::vector<double> ram_capacity_;  // per server: bytes * headroom - overhead
   std::vector<std::vector<double>> cpu_;  // per server, summed over time
   std::vector<std::vector<double>> ram_;
 };

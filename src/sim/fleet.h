@@ -1,0 +1,106 @@
+// FleetSpec: the target fleet of a consolidation run as first-class data —
+// an ordered list of machine classes (spec, count, per-server cost weight)
+// instead of one homogeneous target machine. Server indices are laid out in
+// class order: class 0 owns indices [0, count0), class 1 the next count1,
+// and so on; a class with count <= 0 is unbounded and absorbs every index
+// past the bounded prefix (the classic "as many identical targets as
+// needed" setup is a single unbounded class).
+//
+// EffectiveCapacity is the headroomed-capacity arithmetic shared by the
+// evaluator, the greedy packers, and the capacity ledger — previously
+// repeated at each call site.
+#ifndef KAIROS_SIM_FLEET_H_
+#define KAIROS_SIM_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace kairos::sim {
+
+/// Capacity of one server, before and after the safety headroom. Call
+/// sites subtract their own per-instance overheads.
+struct EffectiveCapacity {
+  double cpu_full_cores = 0;  ///< Standard cores, no headroom.
+  double ram_full_bytes = 0;
+  double cpu_cores = 0;       ///< cpu_full_cores * cpu_headroom.
+  double ram_bytes = 0;       ///< ram_full_bytes * ram_headroom.
+
+  static EffectiveCapacity Of(const MachineSpec& spec, double cpu_headroom,
+                              double ram_headroom);
+};
+
+/// One machine class of a fleet.
+struct MachineClass {
+  MachineSpec spec;
+  /// Servers of this class; <= 0 means unbounded (meaningful for the last
+  /// class only — an unbounded class absorbs all remaining indices).
+  int count = 0;
+  /// Relative per-server cost in the objective (multiplies kServerCost),
+  /// so the solver prefers fewer *and cheaper* servers.
+  double cost_weight = 1.0;
+  /// A drained class accepts no placements: the evaluator penalizes every
+  /// slot left on one of its servers and the packers never open them (the
+  /// online controller's generation-upgrade drain).
+  bool drained = false;
+};
+
+/// The target fleet: ordered machine classes defining the server index
+/// space. Default-constructed fleets are empty; ConsolidationProblem
+/// defaults to Homogeneous(ConsolidationTarget()).
+struct FleetSpec {
+  std::vector<MachineClass> classes;
+
+  /// The pre-fleet setup: one unbounded class of identical machines.
+  static FleetSpec Homogeneous(const MachineSpec& spec, double cost_weight = 1.0);
+
+  /// Chainable builder: appends a class and returns *this.
+  FleetSpec& AddClass(const MachineSpec& spec, int count, double cost_weight = 1.0);
+
+  int num_classes() const { return static_cast<int>(classes.size()); }
+
+  /// Total servers across classes; 0 when any class is unbounded.
+  int TotalServers() const;
+
+  /// Class owning server index `server`. Indices past the bounded prefix
+  /// fall into the unbounded class when there is one, else clamp to the
+  /// last class (stranded indices beyond the fleet, e.g. a drained label).
+  int ClassOf(int server) const;
+
+  const MachineSpec& SpecOf(int server) const {
+    return classes[ClassOf(server)].spec;
+  }
+
+  bool DrainedServer(int server) const {
+    return classes[ClassOf(server)].drained;
+  }
+
+  /// First server index of class `c`.
+  int ClassBegin(int c) const;
+
+  /// True when every class presents identical capacity and cost weight
+  /// (ignores drain flags): such a fleet is behaviourally one machine type.
+  bool UniformMachines() const;
+
+  bool AnyDrained() const;
+
+  /// UniformMachines() with nothing drained: the exact homogeneous code
+  /// path — solvers skip cross-class moves and the evaluator's per-class
+  /// arithmetic degenerates to the single-machine formulas bit-for-bit.
+  bool Uniform() const { return UniformMachines() && !AnyDrained(); }
+
+  /// Headroomed capacity per class (indexed like `classes`).
+  std::vector<EffectiveCapacity> ClassCapacities(double cpu_headroom,
+                                                 double ram_headroom) const;
+
+  /// Class index per server for servers [0, num_servers).
+  std::vector<int> ClassOfServers(int num_servers) const;
+
+  /// Human-readable summary ("6x server1 w=0.55 + 4x target12c96g w=1").
+  std::string Render() const;
+};
+
+}  // namespace kairos::sim
+
+#endif  // KAIROS_SIM_FLEET_H_

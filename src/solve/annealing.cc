@@ -49,12 +49,39 @@ core::ConsolidationPlan AnnealingSolver::Solve(
       1.0, options_.initial_temp_fraction * std::abs(ev.current_cost()));
   const int epoch = std::max(1, options_.epoch_slots_factor * slots);
 
+  // Cross-class moves only exist on non-uniform fleets; the gate also keeps
+  // the RNG stream (and thus every result) bit-identical on uniform ones.
+  const bool fleet_moves = !problem.fleet.Uniform();
+
   for (int it = 0; it < budget.max_iterations; ++it) {
     if (incumbent && it % options_.stop_poll_interval == 0 &&
         incumbent->ShouldStop()) {
       break;
     }
     if (it > 0 && it % epoch == 0) temperature *= options_.cooling;
+
+    if (fleet_moves && rng.NextDouble() < options_.reclass_probability) {
+      // Re-class: migrate one server's whole unpinned payload onto an empty
+      // server of a different machine class (e.g. two legacy boxes folding
+      // onto one big target) — a package move single relocations only reach
+      // through an uphill barrier.
+      const int slot = static_cast<int>(rng.UniformInt(0, slots - 1));
+      const int from = ev.assignment()[slot];
+      const std::vector<int> targets = EmptyCrossClassServers(problem, ev, from);
+      const std::vector<int> movers = MovableSlotsOn(ev, from);
+      if (targets.empty() || movers.empty()) continue;
+      const int to = targets[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(targets.size()) - 1))];
+      const double before = ev.current_cost();
+      for (int s : movers) ev.ApplyMove(s, to);
+      const double delta = ev.current_cost() - before;
+      if (delta <= 0) {
+        record_if_best();
+      } else if (rng.NextDouble() >= std::exp(-delta / temperature)) {
+        for (int s : movers) ev.ApplyMove(s, from);  // reject: roll back
+      }
+      continue;
+    }
 
     if (rng.NextDouble() < options_.swap_probability) {
       // Swap the servers of two unpinned slots.

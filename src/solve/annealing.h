@@ -23,6 +23,11 @@ class AnnealingSolver : public Solver {
     int epoch_slots_factor = 8;
     /// Probability of proposing a swap instead of a relocation.
     double swap_probability = 0.25;
+    /// Heterogeneous fleets only: probability of proposing a cross-class
+    /// "re-class" move — one server's whole unpinned payload migrates onto
+    /// an empty server of a different machine class. Never drawn on uniform
+    /// fleets, so the homogeneous move stream is untouched.
+    double reclass_probability = 0.08;
     /// ShouldStop() poll interval, in moves.
     int stop_poll_interval = 256;
   };

@@ -11,7 +11,32 @@
 namespace kairos::solve {
 
 int HardCap(const core::ConsolidationProblem& problem) {
-  return problem.max_servers > 0 ? problem.max_servers : problem.TotalSlots();
+  return problem.ServerCap();
+}
+
+std::vector<int> MovableSlotsOn(const core::Evaluator& ev, int server) {
+  std::vector<int> slots;
+  for (int s = 0; s < ev.num_slots(); ++s) {
+    if (ev.assignment()[s] == server && ev.PinOfSlot(s) < 0) slots.push_back(s);
+  }
+  return slots;
+}
+
+std::vector<int> EmptyCrossClassServers(const core::ConsolidationProblem& problem,
+                                        const core::Evaluator& ev, int from) {
+  const int cap = ev.max_servers();
+  std::vector<char> used(cap, 0);
+  for (int s = 0; s < ev.num_slots(); ++s) used[ev.assignment()[s]] = 1;
+  const int from_class = problem.fleet.ClassOf(from);
+  std::vector<int> out;
+  for (int j = 0; j < cap; ++j) {
+    if (used[j] || j == from) continue;
+    const int klass = problem.fleet.ClassOf(j);
+    if (klass == from_class) continue;
+    if (problem.fleet.classes[klass].drained) continue;
+    out.push_back(j);
+  }
+  return out;
 }
 
 bool ValidSeedAssignment(const core::ConsolidationProblem& problem, int cap,

@@ -42,8 +42,19 @@ struct SolveBudget {
 };
 
 /// Upper bound on server indices a solver may use (the problem's
-/// max_servers, or one server per slot when unset).
+/// max_servers, or one server per slot when unset, further capped by a
+/// bounded fleet).
 int HardCap(const core::ConsolidationProblem& problem);
+
+/// Unpinned slots currently placed on `server` in `ev`'s loaded assignment
+/// (the move set of the metaheuristics' cross-class "re-class" neighborhood).
+std::vector<int> MovableSlotsOn(const core::Evaluator& ev, int server);
+
+/// Empty, non-drained servers of a *different* machine class than `from`:
+/// the candidate targets of a re-class move (migrating one server's whole
+/// payload onto another hardware generation).
+std::vector<int> EmptyCrossClassServers(const core::ConsolidationProblem& problem,
+                                        const core::Evaluator& ev, int from);
 
 /// True when `seed` can warm-start the problem at `cap` servers: one entry
 /// per slot, every entry in [0, cap).

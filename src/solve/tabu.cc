@@ -46,6 +46,10 @@ core::ConsolidationPlan TabuSolver::Solve(
     }
   };
 
+  // Cross-class moves only exist on non-uniform fleets; the gate also keeps
+  // the RNG stream (and thus every result) bit-identical on uniform ones.
+  const bool fleet_moves = !problem.fleet.Uniform();
+
   // budget.max_iterations counts move evaluations (one MoveDelta each), so
   // the tabu budget is comparable to SA's regardless of problem size.
   long evals = 0;
@@ -111,6 +115,23 @@ core::ConsolidationPlan TabuSolver::Solve(
           ev.ApplyMove(a, sb);
           ev.ApplyMove(b, sa);
           evals += 2;
+          record_if_best();
+        }
+      }
+      // Heterogeneous fleets: periodic re-class kick — one server's whole
+      // unpinned payload onto an empty server of a different class, the
+      // package move that crosses the "open a bigger box" cost barrier.
+      if (fleet_moves && options_.reclass_interval > 0 &&
+          since_improvement % options_.reclass_interval == 0) {
+        const int slot = static_cast<int>(rng.UniformInt(0, slots - 1));
+        const int from = ev.assignment()[slot];
+        const std::vector<int> targets = EmptyCrossClassServers(problem, ev, from);
+        const std::vector<int> movers = MovableSlotsOn(ev, from);
+        if (!targets.empty() && !movers.empty()) {
+          const int to = targets[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(targets.size()) - 1))];
+          for (int s : movers) ev.ApplyMove(s, to);
+          evals += static_cast<long>(movers.size());
           record_if_best();
         }
       }

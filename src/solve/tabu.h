@@ -22,6 +22,11 @@ class TabuSolver : public Solver {
     /// Every `kick_interval` non-improving iterations, apply a random swap
     /// kick to escape the current basin.
     int kick_interval = 40;
+    /// Heterogeneous fleets only: every `reclass_interval` non-improving
+    /// iterations, kick one server's whole unpinned payload onto an empty
+    /// server of a different machine class (never fires on uniform fleets,
+    /// keeping the homogeneous search bit-identical).
+    int reclass_interval = 25;
     /// ShouldStop() poll interval, in iterations.
     int stop_poll_interval = 64;
   };

@@ -106,4 +106,128 @@ ScenarioTelemetry MakeScenario(ScenarioKind kind, const ScenarioConfig& config_i
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Heterogeneous-fleet scenarios
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scale-out node: a small cheap box (4 standard cores, 16 GB).
+sim::MachineSpec SmallNode() {
+  sim::MachineSpec m;
+  m.name = "small4c16g";
+  m.cores = 4;
+  m.clock_ghz = sim::kStandardCoreGhz;
+  m.ram_bytes = 16 * util::kGiB;
+  return m;
+}
+
+/// Scale-up node: a big box (24 standard cores, 192 GB).
+sim::MachineSpec BigNode() {
+  sim::MachineSpec m;
+  m.name = "big24c192g";
+  m.cores = 24;
+  m.clock_ghz = sim::kStandardCoreGhz;
+  m.ram_bytes = 192 * util::kGiB;
+  return m;
+}
+
+}  // namespace
+
+std::vector<FleetScenarioKind> AllFleetScenarios() {
+  return {FleetScenarioKind::kMixedGeneration,
+          FleetScenarioKind::kScaleUpVsScaleOut,
+          FleetScenarioKind::kGenerationUpgrade};
+}
+
+std::string FleetScenarioName(FleetScenarioKind kind) {
+  switch (kind) {
+    case FleetScenarioKind::kMixedGeneration: return "mixed-generation";
+    case FleetScenarioKind::kScaleUpVsScaleOut: return "scale-up-vs-out";
+    case FleetScenarioKind::kGenerationUpgrade: return "generation-upgrade";
+  }
+  return "unknown";
+}
+
+FleetScenario MakeFleetScenario(FleetScenarioKind kind,
+                                const ScenarioConfig& config_in) {
+  ScenarioConfig config = config_in;
+  config.workloads = std::max(2, config.workloads);
+  config.steps = std::max(2, config.steps);
+
+  FleetScenario out;
+  util::Rng rng(config.seed ^ (0xF1EE7ull + static_cast<uint64_t>(kind)));
+
+  // Workload envelope and fleet per kind. Class 0 is always the weakest
+  // (smallest-capacity) class; every workload fits on a weakest-class box
+  // alone, so the forced-onto-weakest baseline stays feasible.
+  double ram_lo_gb = 6.0, ram_hi_gb = 20.0;
+  double cpu_lo = 0.5, cpu_hi = 1.8;
+  switch (kind) {
+    case FleetScenarioKind::kMixedGeneration: {
+      // Legacy Server 1 boxes (8 cores, 32 GB) are cheap per box but dear
+      // per byte next to the current-generation consolidation target.
+      out.fleet.AddClass(sim::MachineSpec::Server1(), config.workloads, 0.8)
+          .AddClass(sim::MachineSpec::ConsolidationTarget(),
+                    std::max(3, config.workloads / 3), 1.0);
+      break;
+    }
+    case FleetScenarioKind::kGenerationUpgrade: {
+      // Fully amortized legacy boxes are so cheap that the bootstrap plan
+      // genuinely lives on them — the mid-horizon drain then has a whole
+      // generation to evacuate onto the modern class.
+      out.fleet.AddClass(sim::MachineSpec::Server1(), config.workloads, 0.25)
+          .AddClass(sim::MachineSpec::ConsolidationTarget(),
+                    std::max(3, config.workloads / 3), 1.0);
+      break;
+    }
+    case FleetScenarioKind::kScaleUpVsScaleOut: {
+      ram_lo_gb = 3.0;
+      ram_hi_gb = 11.0;
+      cpu_lo = 0.4;
+      cpu_hi = 1.2;
+      out.fleet.AddClass(SmallNode(), config.workloads, 0.4)
+          .AddClass(BigNode(), std::max(2, config.workloads / 5), 1.8);
+      break;
+    }
+  }
+  out.weakest_class = 0;
+
+  for (int w = 0; w < config.workloads; ++w) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(w);
+    util::Rng wl_rng = rng.Fork();
+
+    // Even spread across the envelope so packings have structure.
+    const double frac = config.workloads > 1
+                            ? static_cast<double>(w) /
+                                  static_cast<double>(config.workloads - 1)
+                            : 0.0;
+    const double ram_bytes =
+        (ram_lo_gb + (ram_hi_gb - ram_lo_gb) * frac) *
+        static_cast<double>(util::kGiB);
+    const double cpu_cores = cpu_lo + (cpu_hi - cpu_lo) * frac;
+
+    // Steady traffic with light noise: the interesting dynamics here are
+    // fleet-side (class mix, upgrade drain), not load-side.
+    std::vector<double> cpu(config.steps), ram(config.steps), rate(config.steps);
+    for (int t = 0; t < config.steps; ++t) {
+      cpu[t] = std::max(0.02, cpu_cores * (1.0 + 0.03 * wl_rng.Gaussian(0.0, 1.0)));
+      ram[t] = ram_bytes * (1.0 + 0.01 * wl_rng.Gaussian(0.0, 1.0));
+      rate[t] = std::max(0.0, 40.0 * (1.0 + 0.05 * wl_rng.Gaussian(0.0, 1.0)));
+    }
+    p.cpu_cores = util::TimeSeries(config.interval_seconds, cpu);
+    p.ram_bytes = util::TimeSeries(config.interval_seconds, ram);
+    p.update_rows_per_sec = util::TimeSeries(config.interval_seconds, rate);
+    p.working_set_bytes = ram_bytes * 0.8;
+    out.profiles.push_back(std::move(p));
+  }
+
+  if (kind == FleetScenarioKind::kGenerationUpgrade) {
+    out.drain_step = config.steps / 2;
+    out.drain_class = 0;  // retire the legacy generation
+  }
+  return out;
+}
+
 }  // namespace kairos::trace

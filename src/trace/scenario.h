@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "monitor/profile.h"
+#include "sim/fleet.h"
 
 namespace kairos::trace {
 
@@ -49,6 +50,48 @@ struct ScenarioTelemetry {
 
 /// Deterministic generator: fixed (kind, config) gives identical telemetry.
 ScenarioTelemetry MakeScenario(ScenarioKind kind, const ScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+// Heterogeneous-fleet scenarios: telemetry *plus* a mixed-class target
+// FleetSpec, exercising the per-server-capacity solve paths.
+// ---------------------------------------------------------------------------
+
+enum class FleetScenarioKind {
+  /// Mixed-generation fleet: cheap legacy boxes (the paper's Server 1)
+  /// next to bigger current-generation targets; the solver trades class
+  /// cost against packing density.
+  kMixedGeneration,
+  /// Scale-up vs scale-out: many small cheap nodes vs a few big expensive
+  /// ones; the cheapest placement mixes both.
+  kScaleUpVsScaleOut,
+  /// Generation upgrade: a mixed fleet whose legacy class is drained
+  /// mid-horizon ("evacuate all server1-generation nodes").
+  kGenerationUpgrade,
+};
+
+/// All fleet scenarios, in sweep order.
+std::vector<FleetScenarioKind> AllFleetScenarios();
+
+/// Display name ("mixed-generation", ...).
+std::string FleetScenarioName(FleetScenarioKind kind);
+
+struct FleetScenario {
+  /// Full-horizon per-workload telemetry (same shape as ScenarioTelemetry).
+  std::vector<monitor::WorkloadProfile> profiles;
+  /// The heterogeneous target fleet.
+  sim::FleetSpec fleet;
+  /// Weakest (smallest-capacity) class index — the baseline fleet the
+  /// heterogeneous benches force the same workloads onto.
+  int weakest_class = 0;
+  /// kGenerationUpgrade: step at which `drain_class` should be drained
+  /// (-1 / -1 for the other scenarios).
+  int drain_step = -1;
+  int drain_class = -1;
+};
+
+/// Deterministic generator: fixed (kind, config) gives identical output.
+FleetScenario MakeFleetScenario(FleetScenarioKind kind,
+                                const ScenarioConfig& config);
 
 }  // namespace kairos::trace
 

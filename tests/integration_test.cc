@@ -58,7 +58,7 @@ TEST(IntegrationTest, MonitorProfileConsolidateValidate) {
 
   core::ConsolidationProblem problem;
   problem.workloads = profiles;
-  problem.target_machine = sim::MachineSpec::Server1();
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::Server1());
   const core::ConsolidationPlan plan =
       core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
   ASSERT_TRUE(plan.feasible);
@@ -101,7 +101,7 @@ TEST(IntegrationTest, EngineRejectsOverload) {
   }
   core::ConsolidationProblem problem;
   problem.workloads = profiles;
-  problem.target_machine = sim::MachineSpec::Server1();  // 8 cores
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::Server1());  // 8 cores
   const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
   ASSERT_TRUE(plan.feasible);
   EXPECT_EQ(plan.servers_used, 2);  // 3 x 3.5 = 10.5 > 7.2 usable cores
@@ -131,7 +131,7 @@ TEST(IntegrationTest, GaugeFeedsEngine) {
       monitor.Collect(&driver, 4.0, {&w}, {{"big", gauged.working_set_bytes}});
   core::ConsolidationProblem problem;
   problem.workloads = {profiles[0], profiles[0], profiles[0]};
-  problem.target_machine = sim::MachineSpec::Server1();
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::Server1());
   const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
   ASSERT_TRUE(plan.feasible);
   EXPECT_EQ(plan.servers_used, 1);
@@ -151,7 +151,7 @@ TEST(IntegrationTest, TimeVaryingWorkloadsConsolidate) {
 
   core::ConsolidationProblem problem;
   problem.workloads = profiles;
-  problem.target_machine = sim::MachineSpec::Server2();  // 2 cores
+  problem.fleet = sim::FleetSpec::Homogeneous(sim::MachineSpec::Server2());  // 2 cores
   const auto plan = core::ConsolidationEngine(problem, core::EngineOptions{}).Solve();
   ASSERT_TRUE(plan.feasible);
   EXPECT_EQ(plan.servers_used, 1);

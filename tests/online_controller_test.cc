@@ -208,7 +208,7 @@ TEST(MigrationTest, SwapDeadlockBouncesThroughSpareServer) {
 
   // Replaying the moves in order never exceeds capacity and lands on the
   // target placement.
-  sim::CapacityLedger ledger(prob.target_machine, 3, 4, prob.cpu_headroom,
+  sim::CapacityLedger ledger(prob.fleet, 3, 4, prob.cpu_headroom,
                              prob.ram_headroom,
                              static_cast<double>(prob.instance_ram_overhead_bytes));
   std::vector<int> state = {0, 1};
