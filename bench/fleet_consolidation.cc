@@ -5,7 +5,12 @@
 // workloads forced onto the weakest class" baseline; the headline is how
 // much cheaper the class-aware placement gets as bigger boxes join the
 // fleet. A second section streams the generation-upgrade scenario through
-// the online controller and drains the legacy class mid-horizon.
+// the online controller and drains the legacy class mid-horizon. A third
+// section sweeps the RAID-vs-spindle scenario — two classes with identical
+// CPU/RAM but different *per-class disk models* — showing the update-heavy
+// workloads landing on the RAID class, and demonstrates the disk-aware
+// migration ledger flagging a staged plan that transiently overloads a
+// spindle-bound box.
 //
 //   build/bench_fleet_consolidation [--smoke]
 //
@@ -16,6 +21,7 @@
 
 #include "bench_common.h"
 #include "online/controller.h"
+#include "online/migration.h"
 #include "online/telemetry.h"
 #include "solve/portfolio.h"
 #include "trace/scenario.h"
@@ -30,6 +36,16 @@ struct MixResult {
   std::string winner;
 };
 
+/// One spec per registered solver, seeds derived from `seed`.
+std::vector<solve::PortfolioSolverSpec> MakeSpecs(uint64_t seed) {
+  std::vector<solve::PortfolioSolverSpec> specs;
+  for (const std::string& name : solve::RegisteredSolverNames()) {
+    specs.push_back({name, seed});
+    seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  }
+  return specs;
+}
+
 MixResult SolveMix(const trace::FleetScenario& scenario, int strong_count,
                    const solve::SolveBudget& budget) {
   core::ConsolidationProblem problem;
@@ -41,16 +57,10 @@ MixResult SolveMix(const trace::FleetScenario& scenario, int strong_count,
     problem.fleet.classes.push_back(strong);
   }
 
-  std::vector<solve::PortfolioSolverSpec> specs;
-  uint64_t seed = bench::kSeed;
-  for (const std::string& name : solve::RegisteredSolverNames()) {
-    specs.push_back({name, seed});
-    seed = seed * 0x9E3779B97F4A7C15ULL + 1;
-  }
   solve::PortfolioOptions options;
   options.budget = budget;
   const solve::PortfolioResult result =
-      solve::PortfolioRunner(options).Run(problem, specs);
+      solve::PortfolioRunner(options).Run(problem, MakeSpecs(bench::kSeed));
   return {result.best, result.winner};
 }
 
@@ -102,6 +112,79 @@ void SweepScenario(trace::FleetScenarioKind kind, int steps,
                       : 0.0,
                   1)
                   .c_str());
+}
+
+/// RAID-vs-spindle: solve the mixed-disk fleet, report where the
+/// update-heavy workloads landed, then ask the migration planner to stage
+/// a plan that parks two update-heavy tenants on one spindle box — the
+/// disk-aware ledger must flag it unsafe.
+void RaidVsSpindle(int steps, const solve::SolveBudget& budget) {
+  trace::ScenarioConfig config;
+  config.steps = steps;
+  config.seed = bench::kSeed;
+  const trace::FleetScenario scenario = trace::MakeFleetScenario(
+      trace::FleetScenarioKind::kRaidVsSpindle, config);
+
+  core::ConsolidationProblem problem;
+  problem.workloads = scenario.profiles;
+  problem.fleet = scenario.fleet;
+
+  solve::PortfolioOptions options;
+  options.budget = budget;
+  const solve::PortfolioResult result =
+      solve::PortfolioRunner(options).Run(problem, MakeSpecs(bench::kSeed));
+
+  std::printf("fleet: %s\n", scenario.fleet.Render().c_str());
+  int heavy_on_raid = 0, heavy_total = 0, light_on_raid = 0;
+  std::vector<char> is_heavy(scenario.profiles.size(), 0);
+  for (int w : scenario.update_heavy) is_heavy[w] = 1;
+  const auto& plan = result.best.assignment.server_of_slot;
+  for (int w = 0; w < static_cast<int>(plan.size()); ++w) {
+    const bool on_raid =
+        scenario.fleet.ClassOf(plan[w]) == scenario.raid_class;
+    if (is_heavy[w]) {
+      ++heavy_total;
+      if (on_raid) ++heavy_on_raid;
+    } else if (on_raid) {
+      ++light_on_raid;
+    }
+  }
+  std::printf(
+      "winner %s: %s, fleet cost %s, update-heavy on raid %d/%d, "
+      "light on raid %d\n",
+      result.winner.c_str(), result.best.feasible ? "feasible" : "INFEASIBLE",
+      util::FormatDouble(result.best.fleet_cost, 2).c_str(), heavy_on_raid,
+      heavy_total, light_on_raid);
+
+  // Ledger rejection demo: stage "two update-heavy tenants onto one
+  // spindle box" from the solved placement. One fits; the second would
+  // push the box past its sustainable update rate mid-migration.
+  if (scenario.update_heavy.size() >= 2) {
+    std::vector<int> from = plan;
+    std::vector<int> to = plan;
+    // A spindle server nobody uses in the incumbent placement.
+    int spare_spindle = -1;
+    for (int j = 0; j < scenario.fleet.classes[0].count; ++j) {
+      bool used = false;
+      for (int s : from) used = used || s == j;
+      if (!used) {
+        spare_spindle = j;
+        break;
+      }
+    }
+    if (spare_spindle >= 0) {
+      to[scenario.update_heavy[0]] = spare_spindle;
+      to[scenario.update_heavy[1]] = spare_spindle;
+      const online::MigrationPlan bad =
+          online::MigrationPlanner(/*max_stages=*/6).Plan(problem, from, to);
+      std::printf(
+          "staged co-location of 2 update-heavy tenants on spindle server "
+          "%d: %s (%d moves, %zu stages)\n",
+          spare_spindle, bad.safe ? "safe (BUG)" : "rejected as UNSAFE",
+          bad.total_moves(), bad.stages.size());
+    }
+  }
+  std::printf("\n");
 }
 
 void GenerationUpgradeDrain(int steps) {
@@ -161,6 +244,10 @@ int main(int argc, char** argv) {
                 std::to_string(steps) + " steps)");
   SweepScenario(trace::FleetScenarioKind::kMixedGeneration, steps, budget);
   SweepScenario(trace::FleetScenarioKind::kScaleUpVsScaleOut, steps, budget);
+
+  bench::Banner("per-class disk models: RAID vs spindle");
+  SweepScenario(trace::FleetScenarioKind::kRaidVsSpindle, steps, budget);
+  RaidVsSpindle(steps, budget);
 
   bench::Banner("generation-upgrade drain (online controller)");
   GenerationUpgradeDrain(smoke ? 32 : 64);

@@ -17,7 +17,13 @@ ConsolidationEngine::ConsolidationEngine(const ConsolidationProblem& problem,
                                          const EngineOptions& options)
     : problem_(problem), options_(options) {}
 
-Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k) const {
+Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k,
+                                            const std::vector<int>* targets) const {
+  // With drained classes the DIRECT encoding covers placable servers only
+  // (the hard drain mask): the search space shrinks instead of the
+  // optimizer wading through penalized regions. `targets` null or empty
+  // means no mask — the classic [0, k) encoding, bit-for-bit.
+  const int m = targets != nullptr ? static_cast<int>(targets->size()) : 0;
   Assignment a;
   a.server_of_slot.resize(x.size());
   int slot = 0;
@@ -25,6 +31,9 @@ Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k)
     for (int r = 0; r < w.replicas; ++r, ++slot) {
       if (w.pinned_server >= 0 && w.pinned_server < k) {
         a.server_of_slot[slot] = w.pinned_server;
+      } else if (m > 0) {
+        int idx = static_cast<int>(x[slot] * m);
+        a.server_of_slot[slot] = (*targets)[std::clamp(idx, 0, m - 1)];
       } else {
         int j = static_cast<int>(x[slot] * k);
         a.server_of_slot[slot] = std::clamp(j, 0, k - 1);
@@ -37,6 +46,8 @@ Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k)
 Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value,
                                           int* evals_out) {
   Evaluator ev(problem_, k);
+  const sim::FleetSpec::PlacementMask mask = problem_.fleet.PlacementTargets(k);
+  const std::vector<int>* targets = mask.masked ? &mask.targets : nullptr;
   const int dims = ev.num_slots();
   opt::DirectOptimizer direct;
   opt::DirectOptions opts;
@@ -44,18 +55,26 @@ Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value
   opts.epsilon = options_.direct_epsilon;
   opts.target_value = target_value;
   const auto objective = [&](const std::vector<double>& x) {
-    return ev.Evaluate(DecodePoint(x, k).server_of_slot);
+    return ev.Evaluate(DecodePoint(x, k, targets).server_of_slot);
   };
   const opt::DirectResult res = direct.Minimize(objective, dims, opts);
   if (evals_out) *evals_out = res.evaluations;
-  return DecodePoint(res.x, k);
+  return DecodePoint(res.x, k, targets);
 }
 
 void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng) {
   const int slots = ev->num_slots();
-  const int k = ev->max_servers();
   std::vector<int> order(slots);
   std::iota(order.begin(), order.end(), 0);
+  // Relocation targets: placable servers only (the hard drain mask). With
+  // nothing drained this is exactly [0, k) — the classic scan. A fully
+  // drained fleet degenerates back to the full scan.
+  const LoadAccountant& acct = ev->accountant();
+  const sim::FleetSpec::PlacementMask mask =
+      problem_.fleet.PlacementTargets(ev->max_servers());
+  const auto drained_server = [&](int j) {
+    return mask.masked && acct.ClassDrained(acct.ClassOfServer(j));
+  };
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool improved = false;
@@ -67,7 +86,7 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
       if (ev->PinOfSlot(slot) >= 0) continue;
       double best_delta = -1e-9;
       int best_to = -1;
-      for (int j = 0; j < k; ++j) {
+      for (int j : mask.targets) {
         if (j == ev->assignment()[slot]) continue;
         const double d = ev->MoveDelta(slot, j);
         if (d < best_delta) {
@@ -80,7 +99,8 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
         improved = true;
       }
     }
-    // Swap pass: random pairs; keep improving swaps.
+    // Swap pass: random pairs; keep improving swaps. Never swap a slot
+    // *onto* a drained server (the mask again; no-op without drain).
     const int swap_tries = slots * 2;
     for (int i = 0; i < swap_tries; ++i) {
       const int a = static_cast<int>(rng->UniformInt(0, slots - 1));
@@ -90,6 +110,7 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
       const int sa = ev->assignment()[a];
       const int sb = ev->assignment()[b];
       if (sa == sb) continue;
+      if (drained_server(sa) || drained_server(sb)) continue;
       const double before = ev->current_cost();
       ev->ApplyMove(a, sb);
       ev->ApplyMove(b, sa);
@@ -123,23 +144,25 @@ bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
   }
 
   // 2. DIRECT global probe with early stop at the first feasible value,
-  //    then a final repair pass. The probe encodes the fleet-order prefix
-  //    [0, k), so any feasible plan there costs at most the sum of those
-  //    servers' weighted server costs plus a balance tail of e each — a
-  //    looser bound (e.g. fleet-wide max weight) would let an infeasible
-  //    all-cheap-class plan pass as "feasible" and stop DIRECT early.
+  //    then a final repair pass. The probe encodes the *placable* servers
+  //    of the fleet-order prefix [0, k), so any feasible plan there costs
+  //    at most the sum of those servers' weighted server costs plus a
+  //    balance tail of e each — a looser bound (e.g. fleet-wide max
+  //    weight) would let an infeasible all-cheap-class plan pass as
+  //    "feasible" and stop DIRECT early.
   double feasible_threshold;
-  if (problem_.fleet.UniformMachines()) {
+  if (problem_.fleet.UniformMachines() && !problem_.fleet.AnyDrained()) {
     feasible_threshold =
         static_cast<double>(k) *
         (kServerCost * problem_.fleet.classes.front().cost_weight + std::exp(1.0));
   } else {
-    double prefix_weight = 0.0;
-    for (int j = 0; j < k; ++j) {
-      prefix_weight += problem_.fleet.classes[problem_.fleet.ClassOf(j)].cost_weight;
-    }
+    // The accountant covers servers [0, k), so its placable list *is* the
+    // placable prefix.
+    const LoadAccountant& acct = ev.accountant();
+    const double placable_prefix =
+        static_cast<double>(acct.PlacableServers().size());
     feasible_threshold =
-        kServerCost * prefix_weight + static_cast<double>(k) * std::exp(1.0);
+        kServerCost * acct.PrefixWeight(k) + placable_prefix * std::exp(1.0);
   }
   int evals = 0;
   Assignment candidate = RunDirect(k, direct_budget, feasible_threshold, &evals);

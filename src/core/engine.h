@@ -105,8 +105,10 @@ class ConsolidationEngine {
   /// DIRECT over the slot->server encoding with `k` servers.
   Assignment RunDirect(int k, int budget, double target_value, int* evals_out);
 
-  /// Respects pins when decoding DIRECT points.
-  Assignment DecodePoint(const std::vector<double>& x, int k) const;
+  /// Respects pins when decoding DIRECT points. A non-empty `targets`
+  /// restricts the encoding to those servers (the hard drain mask).
+  Assignment DecodePoint(const std::vector<double>& x, int k,
+                         const std::vector<int>* targets = nullptr) const;
 
   const ConsolidationProblem& problem_;
   EngineOptions options_;

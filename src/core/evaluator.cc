@@ -17,109 +17,61 @@ constexpr double kDrainedUnit = 0.25;
 }  // namespace
 
 Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
-    : problem_(problem), max_servers_(max_servers) {
-  num_slots_ = problem.TotalSlots();
+    : problem_(problem),
+      max_servers_(max_servers),
+      acct_(problem, max_servers) {
   assert(max_servers_ >= 1);
 
-  // Common sample count across all profiles.
-  size_t n = SIZE_MAX;
-  for (const auto& w : problem.workloads) {
-    n = std::min({n, w.cpu_cores.size(), w.ram_bytes.size(),
-                  w.update_rows_per_sec.size()});
-  }
-  if (n == SIZE_MAX || n == 0) n = 1;
-  num_samples_ = static_cast<int>(n);
-
-  slot_cpu_.reserve(num_slots_);
-  slot_ram_.reserve(num_slots_);
-  slot_rate_.reserve(num_slots_);
-  const double overhead = problem.per_instance_cpu_overhead_cores;
+  slot_move_cost_.reserve(acct_.num_slots());
   for (int wi = 0; wi < static_cast<int>(problem.workloads.size()); ++wi) {
-    const auto& w = problem.workloads[wi];
-    std::vector<double> cpu(n), ram(n), rate(n);
-    for (size_t t = 0; t < n; ++t) {
-      // Each dedicated-server profile includes one instance overhead; store
-      // the workload's intrinsic demand and re-add a single overhead per
-      // used server in ServerCost().
-      cpu[t] = std::max(0.0, w.cpu_cores.at(t) - overhead);
-      ram[t] = w.ram_bytes.at(t);
-      rate[t] = w.update_rows_per_sec.at(t);
-    }
     const double move_cost =
         wi < static_cast<int>(problem.migration_move_cost.size())
             ? problem.migration_move_cost[wi]
             : 1.0;
-    for (int r = 0; r < w.replicas; ++r) {
-      slot_cpu_.push_back(cpu);
-      slot_ram_.push_back(ram);
-      slot_rate_.push_back(rate);
-      slot_ws_.push_back(w.working_set_bytes);
-      workload_of_slot_.push_back(wi);
-      pin_of_slot_.push_back(w.pinned_server);
+    for (int r = 0; r < problem.workloads[wi].replicas; ++r) {
       slot_move_cost_.push_back(move_cost);
     }
   }
 
   // slot_current_ tracks moves even at zero weight (for reporting); the
   // cost term itself needs a positive weight.
-  if (static_cast<int>(problem.current_assignment.size()) == num_slots_) {
+  if (static_cast<int>(problem.current_assignment.size()) == acct_.num_slots()) {
     slot_current_ = problem.current_assignment;
   }
   has_migration_ = problem.migration_cost_weight > 0.0 && !slot_current_.empty();
-
-  assert(!problem.fleet.classes.empty());
-  class_caps_ =
-      problem.fleet.ClassCapacities(problem.cpu_headroom, problem.ram_headroom);
-  class_weight_.reserve(problem.fleet.classes.size());
-  class_drained_.reserve(problem.fleet.classes.size());
-  for (const auto& c : problem.fleet.classes) {
-    class_weight_.push_back(c.cost_weight);
-    class_drained_.push_back(c.drained ? 1 : 0);
-  }
-  class_of_ = problem.fleet.ClassOfServers(max_servers_);
 }
 
-void Evaluator::Apply(ServerState* s, int slot, double sign) const {
-  if (s->cpu.empty()) {
-    s->cpu.assign(num_samples_, 0.0);
-    s->ram.assign(num_samples_, 0.0);
-    s->rate.assign(num_samples_, 0.0);
+template <typename CpuAt, typename RamAt, typename RateAt>
+double Evaluator::ServerCostOf(int klass, double ws, int count, CpuAt cpu_at,
+                               RamAt ram_at, RateAt rate_at,
+                               double* violation_out) const {
+  if (count <= 0) {
+    if (violation_out) *violation_out = 0.0;
+    return 0.0;
   }
-  const auto& cpu = slot_cpu_[slot];
-  const auto& ram = slot_ram_[slot];
-  const auto& rate = slot_rate_[slot];
-  for (int t = 0; t < num_samples_; ++t) {
-    s->cpu[t] += sign * cpu[t];
-    s->ram[t] += sign * ram[t];
-    s->rate[t] += sign * rate[t];
-  }
-  s->ws += sign * slot_ws_[slot];
-  s->count += sign > 0 ? 1 : -1;
-}
-
-double Evaluator::ServerCost(const ServerState& s, int klass) const {
-  if (s.count <= 0) return 0.0;
   const double overhead = problem_.per_instance_cpu_overhead_cores;
   const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
   const double wsum =
       problem_.cpu_weight + problem_.ram_weight + problem_.disk_weight;
-  const sim::EffectiveCapacity& cap = class_caps_[klass];
+  const sim::EffectiveCapacity& cap = acct_.CapacityOfClass(klass);
 
+  const model::DiskResource& disk = acct_.Disk(klass);
+  const bool has_disk = disk.active();
   double disk_cap = 0;
-  const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
-  if (has_disk) {
-    disk_cap = problem_.disk_model->MaxSustainableRate(std::max(0.0, s.ws));
-  }
+  if (has_disk) disk_cap = disk.Capacity(ws);
+  const double disk_headroom = disk.headroom();
 
+  const int samples = acct_.num_samples();
   double exp_sum = 0;
   double violation = 0;
-  for (int t = 0; t < num_samples_; ++t) {
-    const double cpu = s.cpu[t] + overhead;
-    const double ram = s.ram[t] + ram_overhead;
+  for (int t = 0; t < samples; ++t) {
+    const double cpu = cpu_at(t) + overhead;
+    const double ram = ram_at(t) + ram_overhead;
+    const double rate = rate_at(t);
     const double u_cpu = cpu / cap.cpu_full_cores;
     const double u_ram = ram / cap.ram_full_bytes;
     double u_disk = 0;
-    if (has_disk && disk_cap > 0) u_disk = s.rate[t] / disk_cap;
+    if (has_disk && disk_cap > 0) u_disk = rate / disk_cap;
 
     double load = (problem_.cpu_weight * std::min(u_cpu, 1.5) +
                    problem_.ram_weight * std::min(u_ram, 1.5) +
@@ -130,120 +82,166 @@ double Evaluator::ServerCost(const ServerState& s, int klass) const {
     violation += std::max(0.0, cpu / cap.cpu_cores - 1.0);
     violation += std::max(0.0, ram / cap.ram_bytes - 1.0);
     if (has_disk && disk_cap > 0) {
-      violation +=
-          std::max(0.0, s.rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
+      violation += std::max(0.0, rate / (disk_headroom * disk_cap) - 1.0);
     }
   }
-  violation /= static_cast<double>(num_samples_);
-  if (class_drained_[klass]) violation += s.count * kDrainedUnit;
+  violation /= static_cast<double>(samples);
+  if (acct_.ClassDrained(klass)) violation += count * kDrainedUnit;
 
-  double cost = kServerCost * class_weight_[klass] +
-                exp_sum / static_cast<double>(num_samples_);
+  double cost = kServerCost * acct_.ClassWeight(klass) +
+                exp_sum / static_cast<double>(samples);
   if (violation > 1e-12) cost += kViolationBase + kViolationScale * violation;
+  if (violation_out) *violation_out = violation;
   return cost;
 }
 
+double Evaluator::WhatIfCost(int j, int slot, double sign) const {
+  const double* srv_cpu = acct_.ServerSeries(Axis::kCpu, j);
+  const double* srv_ram = acct_.ServerSeries(Axis::kRam, j);
+  const double* srv_rate = acct_.ServerSeries(Axis::kRate, j);
+  const double* sl_cpu = acct_.SlotSeries(Axis::kCpu, slot);
+  const double* sl_ram = acct_.SlotSeries(Axis::kRam, slot);
+  const double* sl_rate = acct_.SlotSeries(Axis::kRate, slot);
+  const double ws = acct_.ServerWs(j) + sign * acct_.SlotWs(slot);
+  const int count = acct_.ServerCount(j) + (sign > 0 ? 1 : -1);
+  return ServerCostOf(
+      acct_.ClassOfServer(j), ws, count,
+      [&](int t) { return srv_cpu[t] + sign * sl_cpu[t]; },
+      [&](int t) { return srv_ram[t] + sign * sl_ram[t]; },
+      [&](int t) { return srv_rate[t] + sign * sl_rate[t]; }, nullptr);
+}
+
 void Evaluator::RecomputeServer(int j) {
-  ServerState* s = &servers_[j];
-  const int klass = class_of_[j];
-  s->cost = ServerCost(*s, klass);
-  // Extract the violation part for feasibility tracking.
-  if (s->count <= 0) {
-    s->violation = 0;
-    return;
-  }
-  // Recompute violation identically to ServerCost (kept in one place would
-  // need an out-param; mirror the arithmetic via cost decomposition).
-  // Cheaper: violation = (cost - base - exp part) / scale when penalized.
-  // To stay exact we recompute directly:
-  const double overhead = problem_.per_instance_cpu_overhead_cores;
-  const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
-  const sim::EffectiveCapacity& cap = class_caps_[klass];
-  double disk_cap = 0;
-  const bool has_disk = problem_.disk_model != nullptr && problem_.disk_model->valid();
-  if (has_disk) disk_cap = problem_.disk_model->MaxSustainableRate(std::max(0.0, s->ws));
-  double violation = 0;
-  for (int t = 0; t < num_samples_; ++t) {
-    violation += std::max(0.0, (s->cpu[t] + overhead) / cap.cpu_cores - 1.0);
-    violation += std::max(0.0, (s->ram[t] + ram_overhead) / cap.ram_bytes - 1.0);
-    if (has_disk && disk_cap > 0) {
-      violation +=
-          std::max(0.0, s->rate[t] / (problem_.disk_headroom * disk_cap) - 1.0);
-    }
-  }
-  s->violation = violation / static_cast<double>(num_samples_);
-  if (class_drained_[klass]) s->violation += s->count * kDrainedUnit;
+  const double* cpu = acct_.ServerSeries(Axis::kCpu, j);
+  const double* ram = acct_.ServerSeries(Axis::kRam, j);
+  const double* rate = acct_.ServerSeries(Axis::kRate, j);
+  server_cost_[j] = ServerCostOf(
+      acct_.ClassOfServer(j), acct_.ServerWs(j), acct_.ServerCount(j),
+      [&](int t) { return cpu[t]; }, [&](int t) { return ram[t]; },
+      [&](int t) { return rate[t]; }, &server_violation_[j]);
 }
 
 double Evaluator::AffinityViolations(const std::vector<int>& assignment) const {
+  const int num_slots = acct_.num_slots();
   double units = 0;
   // Replica anti-affinity: two slots of the same workload on one server.
-  for (int a = 0; a < num_slots_; ++a) {
-    for (int b = a + 1; b < num_slots_; ++b) {
+  for (int a = 0; a < num_slots; ++a) {
+    for (int b = a + 1; b < num_slots; ++b) {
       if (assignment[a] == assignment[b] &&
-          workload_of_slot_[a] == workload_of_slot_[b]) {
+          acct_.WorkloadOfSlot(a) == acct_.WorkloadOfSlot(b)) {
         units += 1;
       }
     }
   }
   // Explicit anti-affinity pairs.
   for (const auto& [wa, wb] : problem_.anti_affinity) {
-    for (int a = 0; a < num_slots_; ++a) {
-      if (workload_of_slot_[a] != wa) continue;
-      for (int b = 0; b < num_slots_; ++b) {
-        if (workload_of_slot_[b] == wb && assignment[a] == assignment[b]) units += 1;
+    for (int a = 0; a < num_slots; ++a) {
+      if (acct_.WorkloadOfSlot(a) != wa) continue;
+      for (int b = 0; b < num_slots; ++b) {
+        if (acct_.WorkloadOfSlot(b) == wb && assignment[a] == assignment[b]) {
+          units += 1;
+        }
       }
     }
   }
   return units;
 }
 
+void Evaluator::ResetScratch() const {
+  const size_t rows = static_cast<size_t>(max_servers_) * acct_.num_samples();
+  if (scratch_ws_.empty()) {
+    for (auto& axis : scratch_) axis.assign(rows, 0.0);
+    scratch_ws_.assign(max_servers_, 0.0);
+    scratch_count_.assign(max_servers_, 0);
+    return;
+  }
+  for (int j : scratch_dirty_) {
+    for (auto& axis : scratch_) {
+      std::fill_n(axis.begin() + static_cast<size_t>(j) * acct_.num_samples(),
+                  acct_.num_samples(), 0.0);
+    }
+    scratch_ws_[j] = 0.0;
+    scratch_count_[j] = 0;
+  }
+  scratch_dirty_.clear();
+}
+
 double Evaluator::Evaluate(const std::vector<int>& assignment) const {
-  assert(static_cast<int>(assignment.size()) == num_slots_);
-  std::vector<ServerState> servers(max_servers_);
+  const int num_slots = acct_.num_slots();
+  const int samples = acct_.num_samples();
+  assert(static_cast<int>(assignment.size()) == num_slots);
+  ResetScratch();
   double pin_penalty = 0;
-  for (int s = 0; s < num_slots_; ++s) {
+  for (int s = 0; s < num_slots; ++s) {
     const int j = assignment[s];
     assert(j >= 0 && j < max_servers_);
-    Apply(&servers[j], s, +1.0);
-    if (pin_of_slot_[s] >= 0 && pin_of_slot_[s] != j) pin_penalty += kPinPenalty;
+    if (scratch_count_[j] == 0) scratch_dirty_.push_back(j);
+    const size_t base = static_cast<size_t>(j) * samples;
+    const double* sl_cpu = acct_.SlotSeries(Axis::kCpu, s);
+    const double* sl_ram = acct_.SlotSeries(Axis::kRam, s);
+    const double* sl_rate = acct_.SlotSeries(Axis::kRate, s);
+    double* dst_cpu = scratch_[static_cast<int>(Axis::kCpu)].data() + base;
+    double* dst_ram = scratch_[static_cast<int>(Axis::kRam)].data() + base;
+    double* dst_rate = scratch_[static_cast<int>(Axis::kRate)].data() + base;
+    for (int t = 0; t < samples; ++t) {
+      dst_cpu[t] += sl_cpu[t];
+      dst_ram[t] += sl_ram[t];
+      dst_rate[t] += sl_rate[t];
+    }
+    scratch_ws_[j] += acct_.SlotWs(s);
+    scratch_count_[j] += 1;
+    if (acct_.PinOfSlot(s) >= 0 && acct_.PinOfSlot(s) != j) {
+      pin_penalty += kPinPenalty;
+    }
   }
   double cost = pin_penalty;
-  for (int j = 0; j < max_servers_; ++j) cost += ServerCost(servers[j], class_of_[j]);
+  for (int j = 0; j < max_servers_; ++j) {
+    const size_t base = static_cast<size_t>(j) * samples;
+    const double* cpu = scratch_[static_cast<int>(Axis::kCpu)].data() + base;
+    const double* ram = scratch_[static_cast<int>(Axis::kRam)].data() + base;
+    const double* rate = scratch_[static_cast<int>(Axis::kRate)].data() + base;
+    cost += ServerCostOf(
+        acct_.ClassOfServer(j), scratch_ws_[j], scratch_count_[j],
+        [&](int t) { return cpu[t]; }, [&](int t) { return ram[t]; },
+        [&](int t) { return rate[t]; }, nullptr);
+  }
   const double aff = AffinityViolations(assignment);
   if (aff > 0) cost += aff * (kViolationBase + kViolationScale * kAffinityUnit);
   if (has_migration_) {
-    for (int s = 0; s < num_slots_; ++s) cost += SlotMigrationCost(s, assignment[s]);
+    for (int s = 0; s < num_slots; ++s) cost += SlotMigrationCost(s, assignment[s]);
   }
   return cost;
 }
 
 void Evaluator::Load(const std::vector<int>& assignment) {
-  assert(static_cast<int>(assignment.size()) == num_slots_);
+  const int num_slots = acct_.num_slots();
+  assert(static_cast<int>(assignment.size()) == num_slots);
   assignment_ = assignment;
-  servers_.assign(max_servers_, ServerState());
-  for (int s = 0; s < num_slots_; ++s) Apply(&servers_[assignment[s]], s, +1.0);
+  acct_.Clear();
+  for (int s = 0; s < num_slots; ++s) acct_.Apply(assignment[s], s, +1.0);
+  server_cost_.assign(max_servers_, 0.0);
+  server_violation_.assign(max_servers_, 0.0);
   current_cost_ = 0;
   total_violation_ = 0;
   for (int j = 0; j < max_servers_; ++j) {
     RecomputeServer(j);
-    current_cost_ += servers_[j].cost;
-    total_violation_ += servers_[j].violation;
+    current_cost_ += server_cost_[j];
+    total_violation_ += server_violation_[j];
   }
   const double aff = AffinityViolations(assignment_);
   if (aff > 0) {
     current_cost_ += aff * (kViolationBase + kViolationScale * kAffinityUnit);
     total_violation_ += aff * kAffinityUnit;
   }
-  for (int s = 0; s < num_slots_; ++s) {
-    if (pin_of_slot_[s] >= 0 && pin_of_slot_[s] != assignment_[s]) {
+  for (int s = 0; s < num_slots; ++s) {
+    if (acct_.PinOfSlot(s) >= 0 && acct_.PinOfSlot(s) != assignment_[s]) {
       current_cost_ += kPinPenalty;
       total_violation_ += 1.0;
     }
   }
   migration_cost_ = 0;
   if (has_migration_) {
-    for (int s = 0; s < num_slots_; ++s) {
+    for (int s = 0; s < num_slots; ++s) {
       migration_cost_ += SlotMigrationCost(s, assignment_[s]);
     }
     current_cost_ += migration_cost_;
@@ -251,14 +249,15 @@ void Evaluator::Load(const std::vector<int>& assignment) {
 }
 
 double Evaluator::SlotAffinity(int slot, int server) const {
+  const int num_slots = acct_.num_slots();
   double units = 0;
-  const int w = workload_of_slot_[slot];
-  for (int b = 0; b < num_slots_; ++b) {
+  const int w = acct_.WorkloadOfSlot(slot);
+  for (int b = 0; b < num_slots; ++b) {
     if (b == slot || assignment_[b] != server) continue;
-    if (workload_of_slot_[b] == w) units += 1;
+    if (acct_.WorkloadOfSlot(b) == w) units += 1;
     for (const auto& [wa, wb] : problem_.anti_affinity) {
-      if ((workload_of_slot_[b] == wa && w == wb) ||
-          (workload_of_slot_[b] == wb && w == wa)) {
+      if ((acct_.WorkloadOfSlot(b) == wa && w == wb) ||
+          (acct_.WorkloadOfSlot(b) == wb && w == wa)) {
         units += 1;
       }
     }
@@ -269,15 +268,12 @@ double Evaluator::SlotAffinity(int slot, int server) const {
 double Evaluator::MoveDelta(int slot, int to) const {
   const int from = assignment_[slot];
   if (to == from) return 0.0;
-  if (pin_of_slot_[slot] >= 0 && to != pin_of_slot_[slot]) return kPinPenalty;
+  if (acct_.PinOfSlot(slot) >= 0 && to != acct_.PinOfSlot(slot)) {
+    return kPinPenalty;
+  }
 
-  ServerState from_copy = servers_[from];
-  Apply(&from_copy, slot, -1.0);
-  ServerState to_copy = servers_[to];
-  Apply(&to_copy, slot, +1.0);
-
-  double delta = ServerCost(from_copy, class_of_[from]) - servers_[from].cost +
-                 ServerCost(to_copy, class_of_[to]) - servers_[to].cost;
+  double delta = WhatIfCost(from, slot, -1.0) - server_cost_[from] +
+                 WhatIfCost(to, slot, +1.0) - server_cost_[to];
   delta += (SlotAffinity(slot, to) - SlotAffinity(slot, from)) *
            (kViolationBase + kViolationScale * kAffinityUnit);
   delta += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
@@ -292,42 +288,46 @@ void Evaluator::ApplyMove(int slot, int to) {
 
   current_cost_ += delta;
   migration_cost_ += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
-  total_violation_ -= servers_[from].violation + servers_[to].violation;
+  total_violation_ -= server_violation_[from] + server_violation_[to];
 
-  Apply(&servers_[from], slot, -1.0);
-  Apply(&servers_[to], slot, +1.0);
+  acct_.Apply(from, slot, -1.0);
+  acct_.Apply(to, slot, +1.0);
   assignment_[slot] = to;
   RecomputeServer(from);
   RecomputeServer(to);
-  total_violation_ += servers_[from].violation + servers_[to].violation;
+  total_violation_ += server_violation_[from] + server_violation_[to];
   total_violation_ += affinity_delta * kAffinityUnit;
 }
 
 Evaluator::ServerLoad Evaluator::GetServerLoad(int j) const {
   ServerLoad out;
-  const ServerState& s = servers_[j];
-  out.used = s.count > 0;
-  out.num_slots = std::max(0, s.count);
-  out.violation = s.violation;
+  const int count = acct_.ServerCount(j);
+  out.used = count > 0;
+  out.num_slots = std::max(0, count);
+  out.violation = server_violation_[j];
   if (!out.used) return out;
   const double overhead = problem_.per_instance_cpu_overhead_cores;
   const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
-  out.cpu_cores.resize(num_samples_);
-  out.ram_bytes.resize(num_samples_);
-  out.update_rows_per_sec.resize(num_samples_);
-  for (int t = 0; t < num_samples_; ++t) {
-    out.cpu_cores[t] = s.cpu[t] + overhead;
-    out.ram_bytes[t] = s.ram[t] + ram_overhead;
-    out.update_rows_per_sec[t] = s.rate[t];
+  const int samples = acct_.num_samples();
+  const double* cpu = acct_.ServerSeries(Axis::kCpu, j);
+  const double* ram = acct_.ServerSeries(Axis::kRam, j);
+  const double* rate = acct_.ServerSeries(Axis::kRate, j);
+  out.cpu_cores.resize(samples);
+  out.ram_bytes.resize(samples);
+  out.update_rows_per_sec.resize(samples);
+  for (int t = 0; t < samples; ++t) {
+    out.cpu_cores[t] = cpu[t] + overhead;
+    out.ram_bytes[t] = ram[t] + ram_overhead;
+    out.update_rows_per_sec[t] = rate[t];
   }
-  out.working_set_bytes = s.ws;
+  out.working_set_bytes = acct_.ServerWs(j);
   return out;
 }
 
 int Evaluator::MovesFromCurrent() const {
   if (slot_current_.empty()) return 0;
   int moves = 0;
-  for (int s = 0; s < num_slots_; ++s) {
+  for (int s = 0; s < acct_.num_slots(); ++s) {
     if (assignment_[s] != slot_current_[s]) ++moves;
   }
   return moves;

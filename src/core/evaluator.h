@@ -11,14 +11,22 @@
 // additionally charges every slot placed away from its current server,
 // making re-solves move-averse (the src/online/ loop).
 //
+// Resource accounting lives in core::LoadAccountant: flat SoA load
+// matrices plus the per-class resource models (linear CPU/RAM, per-class
+// nonlinear model::DiskResource). The evaluator owns only the objective
+// shape — exp-balance, violation penalties, affinity/pin/migration terms.
+//
 // Supports both one-shot evaluation (for DIRECT) and cached incremental
-// move evaluation (for the local-search polish).
+// move evaluation (for the local-search polish). Instances are not
+// thread-safe (Evaluate() reuses internal scratch buffers); portfolio
+// solvers each construct their own.
 #ifndef KAIROS_CORE_EVALUATOR_H_
 #define KAIROS_CORE_EVALUATOR_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/load_accountant.h"
 #include "core/problem.h"
 
 namespace kairos::core {
@@ -39,15 +47,16 @@ class Evaluator {
   /// `max_servers` bounds the server indices assignments may use.
   Evaluator(const ConsolidationProblem& problem, int max_servers);
 
-  int num_slots() const { return num_slots_; }
+  int num_slots() const { return acct_.num_slots(); }
   int max_servers() const { return max_servers_; }
-  int num_samples() const { return num_samples_; }
+  int num_samples() const { return acct_.num_samples(); }
   /// Workload index of a slot.
-  int WorkloadOfSlot(int slot) const { return workload_of_slot_[slot]; }
+  int WorkloadOfSlot(int slot) const { return acct_.WorkloadOfSlot(slot); }
   /// Pinned server of a slot (-1 if free).
-  int PinOfSlot(int slot) const { return pin_of_slot_[slot]; }
+  int PinOfSlot(int slot) const { return acct_.PinOfSlot(slot); }
 
-  /// One-shot evaluation of an assignment (no cached state touched).
+  /// One-shot evaluation of an assignment (no cached state touched; reuses
+  /// internal scratch, so not concurrency-safe on one instance).
   double Evaluate(const std::vector<int>& assignment) const;
 
   /// Loads `assignment` into the incremental cache.
@@ -86,32 +95,34 @@ class Evaluator {
 
   /// Capacities after headroom, per server (machine-class dependent).
   double cpu_capacity(int server = 0) const {
-    return class_caps_[class_of_[server]].cpu_cores;
+    return acct_.CapacityOfClass(acct_.ClassOfServer(server)).cpu_cores;
   }
   double ram_capacity_bytes(int server = 0) const {
-    return class_caps_[class_of_[server]].ram_bytes;
+    return acct_.CapacityOfClass(acct_.ClassOfServer(server)).ram_bytes;
   }
   /// Machine class of a server (index into the problem's fleet classes).
-  int ClassOfServer(int server) const { return class_of_[server]; }
+  int ClassOfServer(int server) const { return acct_.ClassOfServer(server); }
+
+  /// The shared resource-accounting layer (slot/server load matrices and
+  /// per-class resource models).
+  const LoadAccountant& accountant() const { return acct_; }
 
  private:
-  struct ServerState {
-    std::vector<double> cpu;   // summed cpu over time (incl. overhead corr.)
-    std::vector<double> ram;   // summed required ram over time
-    std::vector<double> rate;  // summed update rows/sec over time
-    double ws = 0;             // summed working sets
-    int count = 0;             // slots placed here
-    double cost = 0;           // cached cost contribution
-    double violation = 0;      // cached relative excess
-  };
+  /// Cost + constraint excess of one server aggregate. The getters supply
+  /// the aggregate series value at each sample, so the same arithmetic
+  /// serves the cached state, the what-if MoveDelta composition, and the
+  /// one-shot scratch without materializing copies.
+  template <typename CpuAt, typename RamAt, typename RateAt>
+  double ServerCostOf(int klass, double ws, int count, CpuAt cpu_at,
+                      RamAt ram_at, RateAt rate_at, double* violation_out) const;
 
-  /// Recomputes server `j`'s cached cost + violation from its sums.
+  /// Cost of server `j`'s current aggregate with `slot` added (sign +1) or
+  /// removed (-1) — the allocation-free MoveDelta core.
+  double WhatIfCost(int j, int slot, double sign) const;
+
+  /// Recomputes server `j`'s cached cost + violation from its aggregates.
   void RecomputeServer(int j);
-  /// Cost contribution of a server state on a server of class `klass`.
-  double ServerCost(const ServerState& s, int klass) const;
-  /// Adds/removes slot series into a server state.
-  void Apply(ServerState* s, int slot, double sign) const;
-  /// Anti-affinity violation count for the cached assignment.
+  /// Anti-affinity violation count for an assignment.
   double AffinityViolations(const std::vector<int>& assignment) const;
   /// Affinity units between `slot` and other slots currently on `server`.
   double SlotAffinity(int slot, int server) const;
@@ -121,36 +132,31 @@ class Evaluator {
                ? problem_.migration_cost_weight * slot_move_cost_[slot]
                : 0.0;
   }
+  /// Zeroes the servers dirtied by the previous Evaluate() call.
+  void ResetScratch() const;
 
   const ConsolidationProblem& problem_;
   int max_servers_;
-  int num_slots_;
-  int num_samples_;
-
-  // Flattened per-slot series (all resampled to num_samples_).
-  std::vector<std::vector<double>> slot_cpu_, slot_ram_, slot_rate_;
-  std::vector<double> slot_ws_;
-  std::vector<int> workload_of_slot_;
-  std::vector<int> pin_of_slot_;
+  LoadAccountant acct_;
 
   // Migration term (empty/disabled unless the problem carries an incumbent).
   bool has_migration_ = false;
   std::vector<int> slot_current_;       // incumbent server per slot
   std::vector<double> slot_move_cost_;  // per-slot move cost
 
-  // Per-class headroomed capacities, cost weights, drain flags, and the
-  // server -> class map (all derived from the problem's FleetSpec).
-  std::vector<sim::EffectiveCapacity> class_caps_;
-  std::vector<double> class_weight_;
-  std::vector<char> class_drained_;
-  std::vector<int> class_of_;
-
   // Incremental cache.
   std::vector<int> assignment_;
-  std::vector<ServerState> servers_;
+  std::vector<double> server_cost_;
+  std::vector<double> server_violation_;
   double current_cost_ = 0;
   double total_violation_ = 0;
   double migration_cost_ = 0;
+
+  // One-shot scratch (lazily allocated, reused across Evaluate calls).
+  mutable std::vector<double> scratch_[kNumAxes];
+  mutable std::vector<double> scratch_ws_;
+  mutable std::vector<int> scratch_count_;
+  mutable std::vector<int> scratch_dirty_;
 };
 
 }  // namespace kairos::core

@@ -4,108 +4,60 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/load_accountant.h"
+
 namespace kairos::core {
 
 namespace {
 
-/// Flattened per-slot demand series used by the packers.
-struct SlotData {
-  std::vector<std::vector<double>> cpu, ram, rate;
-  std::vector<double> ws;
-  std::vector<int> workload;
-  int samples = 1;
-
-  explicit SlotData(const ConsolidationProblem& p) {
-    size_t n = SIZE_MAX;
-    for (const auto& w : p.workloads) {
-      n = std::min({n, w.cpu_cores.size(), w.ram_bytes.size(),
-                    w.update_rows_per_sec.size()});
-    }
-    if (n == SIZE_MAX || n == 0) n = 1;
-    samples = static_cast<int>(n);
-    for (int wi = 0; wi < static_cast<int>(p.workloads.size()); ++wi) {
-      const auto& w = p.workloads[wi];
-      std::vector<double> c(n), r(n), u(n);
-      for (size_t t = 0; t < n; ++t) {
-        c[t] = std::max(0.0, w.cpu_cores.at(t) - p.per_instance_cpu_overhead_cores);
-        r[t] = w.ram_bytes.at(t);
-        u[t] = w.update_rows_per_sec.at(t);
-      }
-      for (int rep = 0; rep < w.replicas; ++rep) {
-        cpu.push_back(c);
-        ram.push_back(r);
-        rate.push_back(u);
-        ws.push_back(w.working_set_bytes);
-        workload.push_back(wi);
-      }
-    }
-  }
-  int num_slots() const { return static_cast<int>(ws.size()); }
-};
-
-/// Per-server view of the problem's fleet within a server cap: headroomed
-/// capacities per class, the server -> class map, and the cheap-first order
-/// in which the packers open servers.
+/// Per-server view of the problem's fleet within a server cap, on top of
+/// the accountant's per-class models: the open orders in which the packers
+/// open servers (drained classes are excluded outright — the hard
+/// placement mask) plus shorthand capacity accessors.
 struct FleetView {
+  const LoadAccountant& acct;
   int cap = 0;
-  std::vector<sim::EffectiveCapacity> caps;  // per class
-  std::vector<double> weight;                // per class
-  std::vector<char> drained;                 // per class
-  std::vector<int> class_of;                 // per server in [0, cap)
-  std::vector<int> open_order;               // server indices, cheap first
+  std::vector<int> open_order;  // placable server indices, cheap first
 
-  FleetView(const ConsolidationProblem& p, int server_cap)
-      : cap(server_cap),
-        caps(p.fleet.ClassCapacities(p.cpu_headroom, p.ram_headroom)),
-        class_of(p.fleet.ClassOfServers(server_cap)) {
-    weight.reserve(p.fleet.classes.size());
-    drained.reserve(p.fleet.classes.size());
-    for (const auto& c : p.fleet.classes) {
-      weight.push_back(c.cost_weight);
-      drained.push_back(c.drained ? 1 : 0);
-    }
+  explicit FleetView(const LoadAccountant& accountant)
+      : acct(accountant), cap(accountant.num_servers()) {
     // Cheapest class first ("fill cheap classes first"); stable, so the
     // uniform fleet keeps the classic ascending-index open order.
-    open_order.resize(cap);
-    std::iota(open_order.begin(), open_order.end(), 0);
+    open_order = acct.PlacableServers();
     std::stable_sort(open_order.begin(), open_order.end(), [&](int a, int b) {
-      return weight[class_of[a]] < weight[class_of[b]];
+      return Weight(a) < Weight(b);
     });
   }
 
   /// Alternative open order: best capacity-per-cost first (a scale-up
   /// packing — open the dense boxes first even though each costs more).
   std::vector<int> DenseOrder() const {
-    const sim::EffectiveCapacity best = BestClass();
+    const sim::EffectiveCapacity best = acct.BestClass();
     // Cost per unit of combined normalized capacity; lower is denser value.
     auto score = [&](int j) {
-      const sim::EffectiveCapacity& c = caps[class_of[j]];
+      const sim::EffectiveCapacity& c = acct.CapacityOfClass(acct.ClassOfServer(j));
       const double capacity = c.cpu_cores / std::max(1e-9, best.cpu_cores) +
                               c.ram_bytes / std::max(1e-9, best.ram_bytes);
-      return weight[class_of[j]] / std::max(1e-9, capacity);
+      return Weight(j) / std::max(1e-9, capacity);
     };
-    std::vector<int> order(cap);
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<int> order = acct.PlacableServers();
     std::stable_sort(order.begin(), order.end(),
                      [&](int a, int b) { return score(a) < score(b); });
     return order;
   }
 
-  double CpuCap(int j) const { return caps[class_of[j]].cpu_cores; }
-  double RamCap(int j) const { return caps[class_of[j]].ram_bytes; }
-  bool Drained(int j) const { return drained[class_of[j]] != 0; }
-
-  /// Largest headroomed capacities across classes (reference machine for
-  /// difficulty ordering and the fractional bound).
-  sim::EffectiveCapacity BestClass() const {
-    sim::EffectiveCapacity best;
-    for (const auto& c : caps) {
-      best.cpu_full_cores = std::max(best.cpu_full_cores, c.cpu_full_cores);
-      best.ram_full_bytes = std::max(best.ram_full_bytes, c.ram_full_bytes);
-      best.cpu_cores = std::max(best.cpu_cores, c.cpu_cores);
-      best.ram_bytes = std::max(best.ram_bytes, c.ram_bytes);
-    }
-    return best;
+  double Weight(int j) const { return acct.ClassWeight(acct.ClassOfServer(j)); }
+  /// Headroomed linear capacities via the class's axis models (bitwise
+  /// equal to EffectiveCapacity's precomputed products).
+  double CpuCap(int j) const {
+    return acct.AxisModel(Axis::kCpu, acct.ClassOfServer(j)).UsableCapacity(0.0);
+  }
+  double RamCap(int j) const {
+    return acct.AxisModel(Axis::kRam, acct.ClassOfServer(j)).UsableCapacity(0.0);
+  }
+  /// The per-class nonlinear disk axis of server `j`.
+  const model::DiskResource& DiskOf(int j) const {
+    return acct.Disk(acct.ClassOfServer(j));
   }
 };
 
@@ -124,6 +76,12 @@ struct Bin {
     rate.assign(samples, 0.0);
   }
 };
+
+double PeakOf(const double* v, int n) {
+  double peak = 0.0;
+  for (int t = 0; t < n; ++t) peak = std::max(peak, v[t]);
+  return peak;
+}
 
 double PeakOf(const std::vector<double>& v) {
   return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
@@ -147,15 +105,19 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
                                   int max_servers) {
   GreedyResult result;
   result.packed_by = r;
-  const SlotData data(problem);
-  const int num_slots = data.num_slots();
+  const LoadAccountant acct(problem,
+                            std::max(1, problem.ServerCap(max_servers)),
+                            /*track_server_load=*/false);
+  const int num_slots = acct.num_slots();
   if (num_slots == 0) return result;
-  const FleetView fleet(problem, std::max(1, problem.ServerCap(max_servers)));
+  const int samples = acct.num_samples();
+  const FleetView fleet(acct);
 
   const double ram_overhead =
       static_cast<double>(problem.instance_ram_overhead_bytes);
-  const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
-  if (r == Resource::kDisk && !has_disk) return result;  // cannot pack by disk
+  if (r == Resource::kDisk && !acct.AnyDiskActive()) {
+    return result;  // cannot pack by disk
+  }
 
   // Decreasing peak demand of the packed resource.
   std::vector<int> order(num_slots);
@@ -163,11 +125,11 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   auto peak = [&](int s) {
     switch (r) {
       case Resource::kCpu:
-        return PeakOf(data.cpu[s]);
+        return PeakOf(acct.SlotSeries(Axis::kCpu, s), samples);
       case Resource::kRam:
-        return PeakOf(data.ram[s]);
+        return PeakOf(acct.SlotSeries(Axis::kRam, s), samples);
       case Resource::kDisk:
-        return PeakOf(data.rate[s]);
+        return PeakOf(acct.SlotSeries(Axis::kRate, s), samples);
     }
     return 0.0;
   };
@@ -179,12 +141,13 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
   int open_count = 0;
 
   Bin empty_bin;
-  empty_bin.Open(data.samples);
+  empty_bin.Open(samples);
   auto fits = [&](const Bin& bin, int j, int s) {
     switch (r) {
       case Resource::kCpu: {
-        for (int t = 0; t < data.samples; ++t) {
-          if (bin.cpu[t] + data.cpu[s][t] + problem.per_instance_cpu_overhead_cores >
+        const double* cpu = acct.SlotSeries(Axis::kCpu, s);
+        for (int t = 0; t < samples; ++t) {
+          if (bin.cpu[t] + cpu[t] + problem.per_instance_cpu_overhead_cores >
               fleet.CpuCap(j)) {
             return false;
           }
@@ -193,16 +156,19 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
       }
       case Resource::kRam: {
         const double ram_cap = fleet.RamCap(j) - ram_overhead;
-        for (int t = 0; t < data.samples; ++t) {
-          if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
+        const double* ram = acct.SlotSeries(Axis::kRam, s);
+        for (int t = 0; t < samples; ++t) {
+          if (bin.ram[t] + ram[t] > ram_cap) return false;
         }
         return true;
       }
       case Resource::kDisk: {
-        const double cap = problem.disk_headroom *
-                           problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
-        for (int t = 0; t < data.samples; ++t) {
-          if (bin.rate[t] + data.rate[s][t] > cap) return false;
+        const model::DiskResource& disk = fleet.DiskOf(j);
+        if (!disk.active()) return true;  // this class has no disk limit
+        const double cap = disk.UsableCapacity(bin.ws + acct.SlotWs(s));
+        const double* rate = acct.SlotSeries(Axis::kRate, s);
+        for (int t = 0; t < samples; ++t) {
+          if (bin.rate[t] + rate[t] > cap) return false;
         }
         return true;
       }
@@ -219,7 +185,7 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
       if (!bins[j].open) continue;
       bool conflict = false;
       for (int other : bins[j].slots) {
-        if (data.workload[other] == data.workload[s]) conflict = true;
+        if (acct.WorkloadOfSlot(other) == acct.WorkloadOfSlot(s)) conflict = true;
       }
       if (conflict || !fits(bins[j], j, s)) continue;
       if (bins[j].mean_load > best_load) {
@@ -228,12 +194,13 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
       }
     }
     if (best < 0) {
-      // Open the cheapest unopened server the slot fits on; when it fits
-      // nowhere alone, still open the cheapest (post-hoc feasibility check
-      // rejects the packing, matching the classic behaviour).
+      // Open the cheapest unopened placable server the slot fits on; when
+      // it fits nowhere alone, still open the cheapest (post-hoc
+      // feasibility check rejects the packing, matching the classic
+      // behaviour).
       int fallback = -1;
       for (int j : fleet.open_order) {
-        if (bins[j].open || fleet.Drained(j)) continue;
+        if (bins[j].open) continue;
         if (fallback < 0) fallback = j;
         if (fits(empty_bin, j, s)) {
           best = j;
@@ -244,15 +211,18 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
       if (best < 0) {
         return result;  // cannot pack within the server budget -> infeasible
       }
-      bins[best].Open(data.samples);
+      bins[best].Open(samples);
       ++open_count;
     }
     Bin& bin = bins[best];
+    const double* cpu = acct.SlotSeries(Axis::kCpu, s);
+    const double* ram = acct.SlotSeries(Axis::kRam, s);
+    const double* rate = acct.SlotSeries(Axis::kRate, s);
     double sum = 0;
-    for (int t = 0; t < data.samples; ++t) {
-      bin.cpu[t] += data.cpu[s][t];
-      bin.ram[t] += data.ram[s][t];
-      bin.rate[t] += data.rate[s][t];
+    for (int t = 0; t < samples; ++t) {
+      bin.cpu[t] += cpu[t];
+      bin.ram[t] += ram[t];
+      bin.rate[t] += rate[t];
       switch (r) {
         case Resource::kCpu:
           sum += bin.cpu[t];
@@ -265,8 +235,8 @@ GreedyResult GreedySingleResource(const ConsolidationProblem& problem, Resource 
           break;
       }
     }
-    bin.ws += data.ws[s];
-    bin.mean_load = sum / data.samples;
+    bin.ws += acct.SlotWs(s);
+    bin.mean_load = sum / samples;
     bin.slots.push_back(s);
     assignment[s] = best;
   }
@@ -293,33 +263,40 @@ GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers
 
 Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
                                bool* feasible) {
-  const SlotData data(problem);
-  const int num_slots = data.num_slots();
+  const LoadAccountant acct(problem,
+                            std::max(1, problem.ServerCap(max_servers)),
+                            /*track_server_load=*/false);
+  const int num_slots = acct.num_slots();
   Assignment out;
   out.server_of_slot.assign(num_slots, 0);
   if (num_slots == 0) {
     if (feasible) *feasible = true;
     return out;
   }
-  const FleetView fleet(problem, std::max(1, problem.ServerCap(max_servers)));
+  const int samples = acct.num_samples();
+  const FleetView fleet(acct);
 
   const double cpu_overhead = problem.per_instance_cpu_overhead_cores;
   const double ram_overhead =
       static_cast<double>(problem.instance_ram_overhead_bytes);
-  const bool has_disk = problem.disk_model != nullptr && problem.disk_model->valid();
+  const bool has_disk = acct.AnyDiskActive();
 
   // Hardest-first: biggest peak normalized by the best class's capacity.
-  const sim::EffectiveCapacity best_class = fleet.BestClass();
+  const sim::EffectiveCapacity best_class = acct.BestClass();
   const double ref_cpu_cap = best_class.cpu_cores - cpu_overhead;
   const double ref_ram_cap = best_class.ram_bytes - ram_overhead;
   std::vector<int> order(num_slots);
   std::iota(order.begin(), order.end(), 0);
   auto difficulty = [&](int s) {
-    double d = PeakOf(data.cpu[s]) / std::max(1e-9, ref_cpu_cap);
-    d = std::max(d, PeakOf(data.ram[s]) / std::max(1e-9, ref_ram_cap));
+    double d = PeakOf(acct.SlotSeries(Axis::kCpu, s), samples) /
+               std::max(1e-9, ref_cpu_cap);
+    d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRam, s), samples) /
+                        std::max(1e-9, ref_ram_cap));
     if (has_disk) {
-      const double cap = problem.disk_model->MaxSustainableRate(data.ws[s]);
-      if (cap > 0) d = std::max(d, PeakOf(data.rate[s]) / cap);
+      const double cap = acct.BestDiskCapacity(acct.SlotWs(s));
+      if (cap > 0) {
+        d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRate, s), samples) / cap);
+      }
     }
     return d;
   };
@@ -327,29 +304,32 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
             [&](int a, int b) { return difficulty(a) > difficulty(b); });
 
   Bin empty_bin;
-  empty_bin.Open(data.samples);
+  empty_bin.Open(samples);
 
   // One hardest-first best-fit packing pass, opening servers in
-  // `open_order`. Returns the assignment and whether the packing stayed
-  // within the server budget.
+  // `open_order` (placable servers only). Returns the assignment and
+  // whether the packing stayed within the server budget.
   auto pack = [&](const std::vector<int>& open_order) {
     std::vector<Bin> bins(fleet.cap);
     std::vector<int> assignment(num_slots, 0);
     auto fits_all = [&](const Bin& bin, int j, int s) {
       for (int other : bin.slots) {
-        if (data.workload[other] == data.workload[s]) return false;
+        if (acct.WorkloadOfSlot(other) == acct.WorkloadOfSlot(s)) return false;
       }
       const double cpu_cap = fleet.CpuCap(j) - cpu_overhead;
       const double ram_cap = fleet.RamCap(j) - ram_overhead;
-      for (int t = 0; t < data.samples; ++t) {
-        if (bin.cpu[t] + data.cpu[s][t] > cpu_cap) return false;
-        if (bin.ram[t] + data.ram[s][t] > ram_cap) return false;
+      const double* cpu = acct.SlotSeries(Axis::kCpu, s);
+      const double* ram = acct.SlotSeries(Axis::kRam, s);
+      for (int t = 0; t < samples; ++t) {
+        if (bin.cpu[t] + cpu[t] > cpu_cap) return false;
+        if (bin.ram[t] + ram[t] > ram_cap) return false;
       }
-      if (has_disk) {
-        const double cap = problem.disk_headroom *
-                           problem.disk_model->MaxSustainableRate(bin.ws + data.ws[s]);
-        for (int t = 0; t < data.samples; ++t) {
-          if (bin.rate[t] + data.rate[s][t] > cap) return false;
+      const model::DiskResource& disk = fleet.DiskOf(j);
+      if (disk.active()) {
+        const double cap = disk.UsableCapacity(bin.ws + acct.SlotWs(s));
+        const double* rate = acct.SlotSeries(Axis::kRate, s);
+        for (int t = 0; t < samples; ++t) {
+          if (bin.rate[t] + rate[t] > cap) return false;
         }
       }
       return true;
@@ -370,11 +350,11 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
         }
       }
       if (best < 0) {
-        // Open the first non-drained server (in open_order) the slot fits
-        // on; fall back to the first unopened one.
+        // Open the first placable server (in open_order) the slot fits on;
+        // fall back to the first unopened one.
         int fallback = -1;
         for (int j : open_order) {
-          if (bins[j].open || fleet.Drained(j)) continue;
+          if (bins[j].open) continue;
           if (fallback < 0) fallback = j;
           if (fits_all(empty_bin, j, s)) {
             best = j;
@@ -383,7 +363,7 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
         }
         if (best < 0) best = fallback;
         if (best >= 0) {
-          bins[best].Open(data.samples);
+          bins[best].Open(samples);
         } else if (any_open) {
           // Server budget exhausted: drop onto the least-loaded open server.
           clean = false;
@@ -398,22 +378,25 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
           // Degenerate fleet (everything drained): open the first server
           // anyway so the assignment is complete; the evaluator flags it.
           clean = false;
-          best = open_order[0];
-          bins[best].Open(data.samples);
+          best = open_order.empty() ? 0 : open_order[0];
+          bins[best].Open(samples);
         }
       }
       Bin& bin = bins[best];
+      const double* cpu = acct.SlotSeries(Axis::kCpu, s);
+      const double* ram = acct.SlotSeries(Axis::kRam, s);
+      const double* rate = acct.SlotSeries(Axis::kRate, s);
       double sum = 0;
       const double cpu_cap = fleet.CpuCap(best) - cpu_overhead;
       const double ram_cap = fleet.RamCap(best) - ram_overhead;
-      for (int t = 0; t < data.samples; ++t) {
-        bin.cpu[t] += data.cpu[s][t];
-        bin.ram[t] += data.ram[s][t];
-        bin.rate[t] += data.rate[s][t];
+      for (int t = 0; t < samples; ++t) {
+        bin.cpu[t] += cpu[t];
+        bin.ram[t] += ram[t];
+        bin.rate[t] += rate[t];
         sum += bin.cpu[t] / std::max(1e-9, cpu_cap) + bin.ram[t] / std::max(1e-9, ram_cap);
       }
-      bin.ws += data.ws[s];
-      bin.mean_load = sum / data.samples;
+      bin.ws += acct.SlotWs(s);
+      bin.mean_load = sum / samples;
       bin.slots.push_back(s);
       assignment[s] = best;
     }
@@ -439,40 +422,37 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
 }
 
 int FractionalLowerBound(const ConsolidationProblem& problem) {
-  const SlotData data(problem);
-  const int num_slots = data.num_slots();
+  const LoadAccountant acct(problem, 1, /*track_server_load=*/false);
+  const int num_slots = acct.num_slots();
   if (num_slots == 0) return 0;
+  const int samples = acct.num_samples();
 
   // Aggregate demand over time.
-  std::vector<double> cpu(data.samples, 0.0), ram(data.samples, 0.0),
-      rate(data.samples, 0.0);
+  std::vector<double> cpu(samples, 0.0), ram(samples, 0.0), rate(samples, 0.0);
   double ws = 0;
   for (int s = 0; s < num_slots; ++s) {
-    for (int t = 0; t < data.samples; ++t) {
-      cpu[t] += data.cpu[s][t];
-      ram[t] += data.ram[s][t];
-      rate[t] += data.rate[s][t];
+    const double* s_cpu = acct.SlotSeries(Axis::kCpu, s);
+    const double* s_ram = acct.SlotSeries(Axis::kRam, s);
+    const double* s_rate = acct.SlotSeries(Axis::kRate, s);
+    for (int t = 0; t < samples; ++t) {
+      cpu[t] += s_cpu[t];
+      ram[t] += s_ram[t];
+      rate[t] += s_rate[t];
     }
-    ws += data.ws[s];
+    ws += acct.SlotWs(s);
   }
   // Idealized: every server is as large as the fleet's best class, so the
   // bound stays valid for any class mix.
-  double cpu_cap = 0, ram_cap = 0;
-  for (const sim::EffectiveCapacity& c :
-       problem.fleet.ClassCapacities(problem.cpu_headroom, problem.ram_headroom)) {
-    cpu_cap = std::max(cpu_cap, c.cpu_cores);
-    ram_cap = std::max(ram_cap, c.ram_bytes);
-  }
+  const sim::EffectiveCapacity best = acct.BestClass();
 
   int k = 1;
-  k = std::max(k, static_cast<int>(std::ceil(PeakOf(cpu) / cpu_cap)));
-  k = std::max(k, static_cast<int>(std::ceil(PeakOf(ram) / ram_cap)));
-  if (problem.disk_model != nullptr && problem.disk_model->valid()) {
+  k = std::max(k, static_cast<int>(std::ceil(PeakOf(cpu) / best.cpu_cores)));
+  k = std::max(k, static_cast<int>(std::ceil(PeakOf(ram) / best.ram_bytes)));
+  if (acct.AnyDiskActive()) {
     const double peak_rate = PeakOf(rate);
     while (k < num_slots) {
       const double cap_per_server =
-          problem.disk_headroom *
-          problem.disk_model->MaxSustainableRate(ws / static_cast<double>(k));
+          acct.BestUsableDiskCapacity(ws / static_cast<double>(k));
       if (peak_rate <= cap_per_server * static_cast<double>(k)) break;
       ++k;
     }

@@ -33,8 +33,12 @@ struct ConsolidationProblem {
   /// further — see ServerCap().
   int max_servers = 0;
 
-  /// Disk model for the target machine's configuration. May be null, in
-  /// which case the disk constraint is skipped.
+  /// Legacy shared disk model: the model every machine class uses when its
+  /// MachineClass::disk_model is unset — "same hardware curve everywhere".
+  /// May be null, in which case classes without their own model have no
+  /// disk constraint. Per-class models (a RAID class next to a
+  /// single-spindle class) live on the fleet's classes; resolution is
+  /// DiskModelOfClass() / DiskHeadroomOfClass().
   const model::DiskModel* disk_model = nullptr;
 
   /// Resource headroom: a server is only loaded to this fraction of its
@@ -72,6 +76,17 @@ struct ConsolidationProblem {
   /// Relative move cost per workload (all replicas of a workload share it).
   /// Empty means 1.0 per workload.
   std::vector<double> migration_move_cost;
+
+  /// Effective disk model of fleet class `c` (class override, else the
+  /// shared legacy model; may be null).
+  const model::DiskModel* DiskModelOfClass(int c) const {
+    return fleet.EffectiveDiskModel(c, disk_model);
+  }
+
+  /// Effective disk headroom of fleet class `c`.
+  double DiskHeadroomOfClass(int c) const {
+    return fleet.EffectiveDiskHeadroom(c, disk_headroom);
+  }
 
   /// Number of placement slots (sum of replica counts).
   int TotalSlots() const {

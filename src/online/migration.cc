@@ -39,25 +39,36 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
     return plan;
   }
 
-  // Per-slot series (replica expansion), truncated to the common length.
+  // Per-slot series (replica expansion), truncated to the common CPU/RAM
+  // length. The rate series deliberately does NOT shrink this horizon: a
+  // short (or empty) rate series must never weaken the CPU/RAM spill
+  // check, so missing rate samples are zero-filled instead (no disk demand
+  // assumed where none was measured). Note the planner also charges the
+  // *raw* profile series — unlike core::LoadAccountant it does not subtract
+  // the per-instance CPU overhead, which is conservative mid-migration
+  // (every moving slot briefly carries its own instance).
   size_t samples = SIZE_MAX;
   for (const auto& w : problem.workloads) {
     samples = std::min({samples, w.cpu_cores.size(), w.ram_bytes.size()});
   }
   if (samples == SIZE_MAX || samples == 0) samples = 1;
 
-  std::vector<std::vector<double>> slot_cpu, slot_ram;
+  std::vector<std::vector<double>> slot_cpu, slot_ram, slot_rate;
+  std::vector<double> slot_ws;
   std::vector<int> workload_of_slot;
   for (int wi = 0; wi < static_cast<int>(problem.workloads.size()); ++wi) {
     const auto& w = problem.workloads[wi];
-    std::vector<double> cpu(samples, 0.0), ram(samples, 0.0);
+    std::vector<double> cpu(samples, 0.0), ram(samples, 0.0), rate(samples, 0.0);
     for (size_t t = 0; t < samples; ++t) {
       cpu[t] = t < w.cpu_cores.size() ? w.cpu_cores.at(t) : 0.0;
       ram[t] = t < w.ram_bytes.size() ? w.ram_bytes.at(t) : 0.0;
+      rate[t] = t < w.update_rows_per_sec.size() ? w.update_rows_per_sec.at(t) : 0.0;
     }
     for (int r = 0; r < w.replicas; ++r) {
       slot_cpu.push_back(cpu);
       slot_ram.push_back(ram);
+      slot_rate.push_back(rate);
+      slot_ws.push_back(w.working_set_bytes);
       workload_of_slot.push_back(wi);
     }
   }
@@ -72,15 +83,20 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
     num_servers = std::max({num_servers, from[s] + 1, to[s] + 1});
   }
 
+  // The ledger shares the problem's per-class disk models (legacy shared
+  // model for classes without their own), so the spill check enforces
+  // MaxSustainableRate per class: a staged plan that transiently overloads
+  // a spindle-bound server is held back or flagged unsafe.
   sim::CapacityLedger ledger(
       problem.fleet, num_servers, static_cast<int>(samples),
       problem.cpu_headroom, problem.ram_headroom,
-      static_cast<double>(problem.instance_ram_overhead_bytes));
+      static_cast<double>(problem.instance_ram_overhead_bytes),
+      problem.disk_model, problem.disk_headroom);
 
   std::vector<int> state = from;
   std::vector<int> pending;
   for (int s = 0; s < num_slots; ++s) {
-    ledger.Add(state[s], slot_cpu[s], slot_ram[s]);
+    ledger.Add(state[s], slot_cpu[s], slot_ram[s], slot_rate[s], slot_ws[s]);
     if (from[s] != to[s]) pending.push_back(s);
   }
 
@@ -118,9 +134,12 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
     for (int slot : pending) {
       const int target = to[slot];
       if (affinity_ok(slot, target) &&
-          ledger.CanAdd(target, slot_cpu[slot], slot_ram[slot])) {
-        ledger.Add(target, slot_cpu[slot], slot_ram[slot]);
-        ledger.Remove(state[slot], slot_cpu[slot], slot_ram[slot]);
+          ledger.CanAdd(target, slot_cpu[slot], slot_ram[slot],
+                        slot_rate[slot], slot_ws[slot])) {
+        ledger.Add(target, slot_cpu[slot], slot_ram[slot], slot_rate[slot],
+                   slot_ws[slot]);
+        ledger.Remove(state[slot], slot_cpu[slot], slot_ram[slot],
+                      slot_rate[slot], slot_ws[slot]);
         stage.moves.push_back(
             {slot, workload_of_slot[slot], state[slot], target, false});
         state[slot] = target;
@@ -140,9 +159,12 @@ MigrationPlan MigrationPlanner::Plan(const core::ConsolidationProblem& problem,
           // Never detour through a drained machine class.
           if (problem.fleet.DrainedServer(s)) continue;
           if (affinity_ok(slot, s) &&
-              ledger.CanAdd(s, slot_cpu[slot], slot_ram[slot])) {
-            ledger.Add(s, slot_cpu[slot], slot_ram[slot]);
-            ledger.Remove(state[slot], slot_cpu[slot], slot_ram[slot]);
+              ledger.CanAdd(s, slot_cpu[slot], slot_ram[slot],
+                            slot_rate[slot], slot_ws[slot])) {
+            ledger.Add(s, slot_cpu[slot], slot_ram[slot], slot_rate[slot],
+                       slot_ws[slot]);
+            ledger.Remove(state[slot], slot_cpu[slot], slot_ram[slot],
+                          slot_rate[slot], slot_ws[slot]);
             stage.moves.push_back(
                 {slot, workload_of_slot[slot], state[slot], s, true});
             state[slot] = s;

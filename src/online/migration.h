@@ -3,7 +3,10 @@
 // headroomed capacity mid-migration. Moves execute in plan order; each
 // stage is one admission scan — a move is admitted only when the
 // sim::CapacityLedger says the target server can absorb the slot on top of
-// everything still (or already) living there. Capacity deadlocks (A and B
+// everything still (or already) living there — CPU, RAM, *and* the disk
+// axis: the slot's update rate must stay within the target class's
+// headroomed sustainable rate at the combined working set, so spindle-bound
+// servers are never transiently overloaded. Capacity deadlocks (A and B
 // must swap but neither fits first) are broken by bouncing a slot through
 // a third server with room; if even that fails the remaining moves are
 // emitted as a final forced stage and the plan is flagged unsafe.

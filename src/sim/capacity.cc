@@ -7,21 +7,32 @@ namespace kairos::sim {
 
 CapacityLedger::CapacityLedger(const FleetSpec& fleet, int num_servers,
                                int samples, double cpu_headroom,
-                               double ram_headroom, double ram_overhead_bytes)
+                               double ram_headroom, double ram_overhead_bytes,
+                               const model::DiskModel* shared_disk_model,
+                               double shared_disk_headroom)
     : samples_(samples) {
   assert(num_servers >= 0 && samples >= 1 && !fleet.classes.empty());
   const std::vector<EffectiveCapacity> caps =
       fleet.ClassCapacities(cpu_headroom, ram_headroom);
-  const std::vector<int> class_of = fleet.ClassOfServers(num_servers);
+  class_of_ = fleet.ClassOfServers(num_servers);
+  class_model_refs_.reserve(fleet.classes.size());
+  class_disk_.reserve(fleet.classes.size());
+  for (int c = 0; c < fleet.num_classes(); ++c) {
+    class_model_refs_.push_back(fleet.classes[c].disk_model);
+    class_disk_.emplace_back(fleet.EffectiveDiskModel(c, shared_disk_model),
+                             fleet.EffectiveDiskHeadroom(c, shared_disk_headroom));
+  }
   cpu_capacity_.reserve(num_servers);
   ram_capacity_.reserve(num_servers);
   for (int j = 0; j < num_servers; ++j) {
-    const EffectiveCapacity& cap = caps[class_of[j]];
+    const EffectiveCapacity& cap = caps[class_of_[j]];
     cpu_capacity_.push_back(cap.cpu_cores);
     ram_capacity_.push_back(cap.ram_bytes - ram_overhead_bytes);
   }
   cpu_.assign(num_servers, std::vector<double>(samples_, 0.0));
   ram_.assign(num_servers, std::vector<double>(samples_, 0.0));
+  rate_.assign(num_servers, std::vector<double>(samples_, 0.0));
+  ws_.assign(num_servers, 0.0);
 }
 
 CapacityLedger::CapacityLedger(const MachineSpec& machine, int num_servers,
@@ -44,22 +55,67 @@ bool CapacityLedger::CanAdd(int server, const std::vector<double>& cpu_cores,
   return true;
 }
 
-void CapacityLedger::Add(int server, const std::vector<double>& cpu_cores,
-                         const std::vector<double>& ram_bytes) {
+bool CapacityLedger::CanAdd(int server, const std::vector<double>& cpu_cores,
+                            const std::vector<double>& ram_bytes,
+                            const std::vector<double>& update_rows_per_sec,
+                            double working_set_bytes) const {
+  if (!CanAdd(server, cpu_cores, ram_bytes)) return false;
+  const model::DiskResource& disk = class_disk_[class_of_[server]];
+  if (!disk.active()) return true;
+  assert(static_cast<int>(update_rows_per_sec.size()) >= samples_);
+  const double cap = disk.UsableCapacity(ws_[server] + working_set_bytes);
+  const auto& rate = rate_[server];
+  for (int t = 0; t < samples_; ++t) {
+    if (rate[t] + update_rows_per_sec[t] > cap) return false;
+  }
+  return true;
+}
+
+void CapacityLedger::AddCpuRam(int server, const std::vector<double>& cpu_cores,
+                               const std::vector<double>& ram_bytes,
+                               double sign) {
   assert(server >= 0 && server < num_servers());
   for (int t = 0; t < samples_; ++t) {
-    cpu_[server][t] += cpu_cores[t];
-    ram_[server][t] += ram_bytes[t];
+    cpu_[server][t] += sign * cpu_cores[t];
+    ram_[server][t] += sign * ram_bytes[t];
   }
+}
+
+void CapacityLedger::Add(int server, const std::vector<double>& cpu_cores,
+                         const std::vector<double>& ram_bytes) {
+  // Mixing arities on a disk-constrained class leaves rate/ws books stale.
+  assert(!class_disk_[class_of_[server]].active());
+  AddCpuRam(server, cpu_cores, ram_bytes, +1.0);
+}
+
+void CapacityLedger::Add(int server, const std::vector<double>& cpu_cores,
+                         const std::vector<double>& ram_bytes,
+                         const std::vector<double>& update_rows_per_sec,
+                         double working_set_bytes) {
+  AddCpuRam(server, cpu_cores, ram_bytes, +1.0);
+  assert(static_cast<int>(update_rows_per_sec.size()) >= samples_);
+  for (int t = 0; t < samples_; ++t) {
+    rate_[server][t] += update_rows_per_sec[t];
+  }
+  ws_[server] += working_set_bytes;
 }
 
 void CapacityLedger::Remove(int server, const std::vector<double>& cpu_cores,
                             const std::vector<double>& ram_bytes) {
-  assert(server >= 0 && server < num_servers());
+  assert(!class_disk_[class_of_[server]].active());
+  AddCpuRam(server, cpu_cores, ram_bytes, -1.0);
+}
+
+void CapacityLedger::Remove(int server, const std::vector<double>& cpu_cores,
+                            const std::vector<double>& ram_bytes,
+                            const std::vector<double>& update_rows_per_sec,
+                            double working_set_bytes) {
+  AddCpuRam(server, cpu_cores, ram_bytes, -1.0);
+  assert(static_cast<int>(update_rows_per_sec.size()) >= samples_);
   for (int t = 0; t < samples_; ++t) {
-    cpu_[server][t] -= cpu_cores[t];
-    ram_[server][t] -= ram_bytes[t];
+    rate_[server][t] -= update_rows_per_sec[t];
   }
+  ws_[server] -= working_set_bytes;
 }
 
 double CapacityLedger::PeakCpuFraction(int server) const {
@@ -67,6 +123,16 @@ double CapacityLedger::PeakCpuFraction(int server) const {
   const double peak =
       *std::max_element(cpu_[server].begin(), cpu_[server].end());
   return cpu_capacity_[server] > 0 ? peak / cpu_capacity_[server] : 0.0;
+}
+
+double CapacityLedger::PeakDiskFraction(int server) const {
+  assert(server >= 0 && server < num_servers());
+  const model::DiskResource& disk = class_disk_[class_of_[server]];
+  if (!disk.active()) return 0.0;
+  const double cap = disk.UsableCapacity(ws_[server]);
+  const double peak =
+      *std::max_element(rate_[server].begin(), rate_[server].end());
+  return cap > 0 ? peak / cap : 0.0;
 }
 
 }  // namespace kairos::sim

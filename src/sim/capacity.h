@@ -6,17 +6,27 @@
 // already admitted) stays within capacity. Each server's capacity comes
 // from its machine class in the FleetSpec, so mixed-generation fleets are
 // checked against the right per-server limits.
+//
+// The ledger prices the disk axis through the same per-class
+// model::DiskResource the evaluator uses: when a class resolves to a valid
+// disk model, an admitted load's update rate must stay within the
+// headroomed MaxSustainableRate at the server's *combined* working set —
+// so a staged plan that transiently parks two update-heavy tenants on a
+// spindle-bound box is caught mid-plan, not just in the final placement.
 #ifndef KAIROS_SIM_CAPACITY_H_
 #define KAIROS_SIM_CAPACITY_H_
 
+#include <memory>
 #include <vector>
 
+#include "model/resource_model.h"
 #include "sim/fleet.h"
 #include "sim/machine.h"
 
 namespace kairos::sim {
 
-/// Tracks summed CPU/RAM series per server against headroomed capacity.
+/// Tracks summed CPU/RAM/update-rate series (and working sets) per server
+/// against headroomed per-class capacity.
 class CapacityLedger {
  public:
   /// `samples` is the common series length; every Add/Remove/CanAdd series
@@ -24,9 +34,14 @@ class CapacityLedger {
   /// once per server (the consolidated DBMS instance). Server `j`'s
   /// capacity is that of `fleet.ClassOf(j)` — indices past a bounded fleet
   /// clamp to the last class (stranded labels, e.g. a drained server).
+  /// `shared_disk_model` is the legacy one-model-for-every-class disk
+  /// model; classes with their own MachineClass::disk_model override it
+  /// (null and no override = no disk constraint for that class).
   CapacityLedger(const FleetSpec& fleet, int num_servers, int samples,
                  double cpu_headroom, double ram_headroom,
-                 double ram_overhead_bytes);
+                 double ram_overhead_bytes,
+                 const model::DiskModel* shared_disk_model = nullptr,
+                 double shared_disk_headroom = 0.9);
 
   /// Homogeneous convenience: every server is one `machine`.
   CapacityLedger(const MachineSpec& machine, int num_servers, int samples,
@@ -36,25 +51,62 @@ class CapacityLedger {
   int num_servers() const { return static_cast<int>(cpu_.size()); }
 
   /// True when adding the series to `server` keeps every sample within the
-  /// headroomed capacity.
+  /// headroomed capacity — CPU/RAM only (no disk demand supplied).
   bool CanAdd(int server, const std::vector<double>& cpu_cores,
               const std::vector<double>& ram_bytes) const;
 
+  /// Disk-aware admission: additionally checks the update rate against the
+  /// server class's headroomed sustainable rate at the combined working
+  /// set (ledger working set + `working_set_bytes`). Classes without a
+  /// disk model skip the disk check.
+  bool CanAdd(int server, const std::vector<double>& cpu_cores,
+              const std::vector<double>& ram_bytes,
+              const std::vector<double>& update_rows_per_sec,
+              double working_set_bytes) const;
+
+  /// CPU/RAM-only mutators. Asserts (debug builds) that the server's class
+  /// has no active disk axis: mixing these with the disk-aware overloads
+  /// would leave rate/working-set state stale and let the spill check admit
+  /// an overloading move against empty disk books.
   void Add(int server, const std::vector<double>& cpu_cores,
            const std::vector<double>& ram_bytes);
+  void Add(int server, const std::vector<double>& cpu_cores,
+           const std::vector<double>& ram_bytes,
+           const std::vector<double>& update_rows_per_sec,
+           double working_set_bytes);
   void Remove(int server, const std::vector<double>& cpu_cores,
               const std::vector<double>& ram_bytes);
+  void Remove(int server, const std::vector<double>& cpu_cores,
+              const std::vector<double>& ram_bytes,
+              const std::vector<double>& update_rows_per_sec,
+              double working_set_bytes);
 
   /// Worst-sample CPU load of `server` as a fraction of headroomed
   /// capacity (for reports).
   double PeakCpuFraction(int server) const;
 
+  /// Worst-sample disk load of `server` as a fraction of its headroomed
+  /// sustainable rate at the current ledger working set (0 when the
+  /// server's class has no disk model).
+  double PeakDiskFraction(int server) const;
+
  private:
+  void AddCpuRam(int server, const std::vector<double>& cpu_cores,
+                 const std::vector<double>& ram_bytes, double sign);
+
   int samples_;
   std::vector<double> cpu_capacity_;  // per server: cores * headroom
   std::vector<double> ram_capacity_;  // per server: bytes * headroom - overhead
+  // Keeps the classes' shared models alive so the ledger stays valid when
+  // constructed from a temporary FleetSpec (the shared legacy model stays
+  // caller-owned, like ConsolidationProblem::disk_model everywhere else).
+  std::vector<std::shared_ptr<const model::DiskModel>> class_model_refs_;
+  std::vector<model::DiskResource> class_disk_;  // per fleet class
+  std::vector<int> class_of_;                    // per server
   std::vector<std::vector<double>> cpu_;  // per server, summed over time
   std::vector<std::vector<double>> ram_;
+  std::vector<std::vector<double>> rate_;
+  std::vector<double> ws_;  // per server: summed working sets
 };
 
 }  // namespace kairos::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <sstream>
 
 #include "util/table.h"
@@ -32,6 +33,14 @@ FleetSpec& FleetSpec::AddClass(const MachineSpec& spec, int count,
   c.count = count;
   c.cost_weight = cost_weight;
   classes.push_back(std::move(c));
+  return *this;
+}
+
+FleetSpec& FleetSpec::WithClassDisk(
+    std::shared_ptr<const model::DiskModel> disk_model, double disk_headroom) {
+  assert(!classes.empty());
+  classes.back().disk_model = std::move(disk_model);
+  classes.back().disk_headroom = disk_headroom;
   return *this;
 }
 
@@ -67,7 +76,9 @@ bool FleetSpec::UniformMachines() const {
   for (const auto& c : classes) {
     if (c.spec.StandardCores() != first.spec.StandardCores() ||
         c.spec.ram_bytes != first.spec.ram_bytes ||
-        c.cost_weight != first.cost_weight) {
+        c.cost_weight != first.cost_weight ||
+        c.disk_model.get() != first.disk_model.get() ||
+        c.disk_headroom != first.disk_headroom) {
       return false;
     }
   }
@@ -79,6 +90,34 @@ bool FleetSpec::AnyDrained() const {
     if (c.drained) return true;
   }
   return false;
+}
+
+bool FleetSpec::AnyClassDisk() const {
+  for (const auto& c : classes) {
+    if (c.disk_model) return true;
+  }
+  return false;
+}
+
+std::vector<int> FleetSpec::PlacableServers(int num_servers) const {
+  std::vector<int> out;
+  out.reserve(std::max(0, num_servers));
+  const std::vector<int> class_of = ClassOfServers(num_servers);
+  for (int j = 0; j < num_servers; ++j) {
+    if (!classes[class_of[j]].drained) out.push_back(j);
+  }
+  return out;
+}
+
+FleetSpec::PlacementMask FleetSpec::PlacementTargets(int num_servers) const {
+  PlacementMask mask;
+  mask.targets = PlacableServers(num_servers);
+  mask.masked = AnyDrained() && !mask.targets.empty();
+  if (mask.targets.empty()) {
+    mask.targets.resize(std::max(0, num_servers));
+    std::iota(mask.targets.begin(), mask.targets.end(), 0);
+  }
+  return mask;
 }
 
 std::vector<EffectiveCapacity> FleetSpec::ClassCapacities(
@@ -117,6 +156,7 @@ std::string FleetSpec::Render() const {
       out << "Nx ";
     }
     out << c.spec.name << " w=" << util::FormatDouble(c.cost_weight, 2);
+    if (c.disk_model) out << " [disk]";
     if (c.drained) out << " [drained]";
   }
   return out.str();

@@ -12,9 +12,11 @@
 #ifndef KAIROS_SIM_FLEET_H_
 #define KAIROS_SIM_FLEET_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "model/disk_model.h"
 #include "sim/machine.h"
 
 namespace kairos::sim {
@@ -41,9 +43,17 @@ struct MachineClass {
   /// so the solver prefers fewer *and cheaper* servers.
   double cost_weight = 1.0;
   /// A drained class accepts no placements: the evaluator penalizes every
-  /// slot left on one of its servers and the packers never open them (the
-  /// online controller's generation-upgrade drain).
+  /// slot left on one of its servers, and solvers exclude its servers from
+  /// move generation and encodings outright (the online controller's
+  /// generation-upgrade drain).
   bool drained = false;
+  /// Per-class disk model (a RAID box and a single-spindle box in one fleet
+  /// have different sustainable-rate curves). Null means "use the problem's
+  /// shared legacy model" — ConsolidationProblem::disk_model — which keeps
+  /// the classic one-model-for-every-class setup bit-for-bit.
+  std::shared_ptr<const model::DiskModel> disk_model;
+  /// Per-class disk headroom; <= 0 inherits the problem's disk_headroom.
+  double disk_headroom = 0.0;
 };
 
 /// The target fleet: ordered machine classes defining the server index
@@ -57,6 +67,11 @@ struct FleetSpec {
 
   /// Chainable builder: appends a class and returns *this.
   FleetSpec& AddClass(const MachineSpec& spec, int count, double cost_weight = 1.0);
+
+  /// Chainable builder: attaches a per-class disk model (+ headroom; <= 0
+  /// inherits the problem default) to the most recently added class.
+  FleetSpec& WithClassDisk(std::shared_ptr<const model::DiskModel> disk_model,
+                           double disk_headroom = 0.0);
 
   int num_classes() const { return static_cast<int>(classes.size()); }
 
@@ -79,11 +94,46 @@ struct FleetSpec {
   /// First server index of class `c`.
   int ClassBegin(int c) const;
 
-  /// True when every class presents identical capacity and cost weight
-  /// (ignores drain flags): such a fleet is behaviourally one machine type.
+  /// True when every class presents identical capacity, cost weight, and
+  /// disk model/headroom (ignores drain flags): such a fleet is
+  /// behaviourally one machine type.
   bool UniformMachines() const;
 
   bool AnyDrained() const;
+
+  /// True when any class carries its own disk model.
+  bool AnyClassDisk() const;
+
+  /// Effective disk model of class `c`: the class's own model when set,
+  /// else the caller's shared legacy model (may be null).
+  const model::DiskModel* EffectiveDiskModel(
+      int c, const model::DiskModel* shared_model) const {
+    const auto& own = classes[c].disk_model;
+    return own ? own.get() : shared_model;
+  }
+
+  /// Effective disk headroom of class `c`: the class override when > 0,
+  /// else the caller's shared legacy headroom.
+  double EffectiveDiskHeadroom(int c, double shared_headroom) const {
+    const double own = classes[c].disk_headroom;
+    return own > 0.0 ? own : shared_headroom;
+  }
+
+  /// Server indices in [0, num_servers) that accept placements — every
+  /// index whose class is not drained. The hard placement mask: solvers
+  /// generate moves and encodings over this list only, so drained classes
+  /// shrink the search space instead of merely being penalized.
+  std::vector<int> PlacableServers(int num_servers) const;
+
+  /// The solver-facing form of the mask. `masked` is true when drained
+  /// classes actually shrank the target set; a degenerate fully-drained
+  /// fleet falls back to the classic full scan (masked = false) so solvers
+  /// still produce complete assignments for the evaluator to flag.
+  struct PlacementMask {
+    std::vector<int> targets;  ///< Move/encoding targets, ascending.
+    bool masked = false;
+  };
+  PlacementMask PlacementTargets(int num_servers) const;
 
   /// UniformMachines() with nothing drained: the exact homogeneous code
   /// path — solvers skip cross-class moves and the evaluator's per-class

@@ -53,6 +53,11 @@ core::ConsolidationPlan AnnealingSolver::Solve(
   // the RNG stream (and thus every result) bit-identical on uniform ones.
   const bool fleet_moves = !problem.fleet.Uniform();
 
+  // Hard drain mask: with drained classes present, relocation targets are
+  // drawn from the placable servers only and swaps never land on a drained
+  // server. Unmasked fleets keep the classic RNG stream bit-for-bit.
+  const sim::FleetSpec::PlacementMask mask = problem.fleet.PlacementTargets(cap);
+
   for (int it = 0; it < budget.max_iterations; ++it) {
     if (incumbent && it % options_.stop_poll_interval == 0 &&
         incumbent->ShouldStop()) {
@@ -92,6 +97,10 @@ core::ConsolidationPlan AnnealingSolver::Solve(
       const int sa = ev.assignment()[a];
       const int sb = ev.assignment()[b];
       if (sa == sb) continue;
+      if (mask.masked && (problem.fleet.DrainedServer(sa) ||
+                          problem.fleet.DrainedServer(sb))) {
+        continue;
+      }
       const double before = ev.current_cost();
       ev.ApplyMove(a, sb);
       ev.ApplyMove(b, sa);
@@ -103,12 +112,30 @@ core::ConsolidationPlan AnnealingSolver::Solve(
         ev.ApplyMove(a, sa);
       }
     } else {
-      // Relocate one unpinned slot to a random other server.
+      // Relocate one unpinned slot to a random other server (a random
+      // other *placable* server under the drain mask).
       const int slot = static_cast<int>(rng.UniformInt(0, slots - 1));
       if (ev.PinOfSlot(slot) >= 0) continue;
       const int from = ev.assignment()[slot];
-      int to = static_cast<int>(rng.UniformInt(0, cap - 2));
-      if (to >= from) ++to;  // uniform over servers != from
+      int to;
+      if (mask.masked) {
+        // Uniform over placable servers != from; when `from` itself is
+        // drained (an evacuation move) every target is valid.
+        const auto it = std::lower_bound(mask.targets.begin(),
+                                         mask.targets.end(), from);
+        const int n = static_cast<int>(mask.targets.size());
+        if (it != mask.targets.end() && *it == from) {
+          if (n < 2) continue;
+          int idx = static_cast<int>(rng.UniformInt(0, n - 2));
+          if (idx >= static_cast<int>(it - mask.targets.begin())) ++idx;
+          to = mask.targets[idx];
+        } else {
+          to = mask.targets[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+        }
+      } else {
+        to = static_cast<int>(rng.UniformInt(0, cap - 2));
+        if (to >= from) ++to;  // uniform over servers != from
+      }
       const double delta = ev.MoveDelta(slot, to);
       if (delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature)) {
         ev.ApplyMove(slot, to);

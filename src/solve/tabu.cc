@@ -50,6 +50,13 @@ core::ConsolidationPlan TabuSolver::Solve(
   // the RNG stream (and thus every result) bit-identical on uniform ones.
   const bool fleet_moves = !problem.fleet.Uniform();
 
+  // Hard drain mask: the best-improvement scan only considers placable
+  // servers as relocation targets, so drained classes shrink the
+  // neighborhood (slots*targets instead of slots*cap move evaluations per
+  // scan) instead of being explored and penalized. Identical to the classic
+  // [0, cap) scan when nothing is drained.
+  const sim::FleetSpec::PlacementMask mask = problem.fleet.PlacementTargets(cap);
+
   // budget.max_iterations counts move evaluations (one MoveDelta each), so
   // the tabu budget is comparable to SA's regardless of problem size.
   long evals = 0;
@@ -76,7 +83,7 @@ core::ConsolidationPlan TabuSolver::Solve(
       }
       if (ev.PinOfSlot(slot) >= 0) continue;
       const int from = ev.assignment()[slot];
-      for (int to = 0; to < cap; ++to) {
+      for (int to : mask.targets) {
         if (to == from) continue;
         const double d = ev.MoveDelta(slot, to);
         ++evals;
@@ -112,10 +119,13 @@ core::ConsolidationPlan TabuSolver::Solve(
             ev.assignment()[a] != ev.assignment()[b]) {
           const int sa = ev.assignment()[a];
           const int sb = ev.assignment()[b];
-          ev.ApplyMove(a, sb);
-          ev.ApplyMove(b, sa);
-          evals += 2;
-          record_if_best();
+          if (!mask.masked || (!problem.fleet.DrainedServer(sa) &&
+                               !problem.fleet.DrainedServer(sb))) {
+            ev.ApplyMove(a, sb);
+            ev.ApplyMove(b, sa);
+            evals += 2;
+            record_if_best();
+          }
         }
       }
       // Heterogeneous fleets: periodic re-class kick — one server's whole

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "model/analytic.h"
+#include "sim/disk.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -137,7 +140,8 @@ sim::MachineSpec BigNode() {
 std::vector<FleetScenarioKind> AllFleetScenarios() {
   return {FleetScenarioKind::kMixedGeneration,
           FleetScenarioKind::kScaleUpVsScaleOut,
-          FleetScenarioKind::kGenerationUpgrade};
+          FleetScenarioKind::kGenerationUpgrade,
+          FleetScenarioKind::kRaidVsSpindle};
 }
 
 std::string FleetScenarioName(FleetScenarioKind kind) {
@@ -145,15 +149,89 @@ std::string FleetScenarioName(FleetScenarioKind kind) {
     case FleetScenarioKind::kMixedGeneration: return "mixed-generation";
     case FleetScenarioKind::kScaleUpVsScaleOut: return "scale-up-vs-out";
     case FleetScenarioKind::kGenerationUpgrade: return "generation-upgrade";
+    case FleetScenarioKind::kRaidVsSpindle: return "raid-vs-spindle";
   }
   return "unknown";
 }
+
+namespace {
+
+/// kRaidVsSpindle: identical CPU/RAM per class — the placement signal is
+/// entirely in the per-class disk models. Update-heavy workloads run at
+/// ~55% of a single spindle's sustainable rate, so a spindle box hosts one
+/// of them but never two, while a RAID box (≈4x the sustainable rate)
+/// absorbs several; light workloads barely touch the disk.
+FleetScenario MakeRaidVsSpindle(const ScenarioConfig& config) {
+  FleetScenario out;
+  util::Rng rng(config.seed ^
+                (0xF1EE7ull +
+                 static_cast<uint64_t>(FleetScenarioKind::kRaidVsSpindle)));
+
+  const model::AnalyticConfig disk_cfg;
+  auto spindle_model = std::make_shared<model::DiskModel>(
+      model::BuildAnalyticModel(sim::DiskSpec{}, disk_cfg, 96e9, 4000.0));
+  auto raid_model = std::make_shared<model::DiskModel>(
+      model::BuildAnalyticModel(sim::DiskSpec::Raid10(), disk_cfg, 120e9,
+                                20000.0));
+
+  sim::MachineSpec spindle_box = sim::MachineSpec::ConsolidationTarget();
+  spindle_box.name = "spindle12c96g";
+  sim::MachineSpec raid_box = sim::MachineSpec::ConsolidationTarget();
+  raid_box.name = "raid12c96g";
+  raid_box.disk = sim::DiskSpec::Raid10();
+
+  out.fleet.AddClass(spindle_box, config.workloads, 0.7)
+      .WithClassDisk(spindle_model)
+      .AddClass(raid_box, std::max(2, config.workloads / 4), 1.3)
+      .WithClassDisk(raid_model);
+  out.weakest_class = 0;  // weakest *disk*: the spindle class
+  out.raid_class = 1;
+
+  for (int w = 0; w < config.workloads; ++w) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(w);
+    util::Rng wl_rng = rng.Fork();
+
+    const double frac = config.workloads > 1
+                            ? static_cast<double>(w) /
+                                  static_cast<double>(config.workloads - 1)
+                            : 0.0;
+    const double ram_bytes =
+        (6.0 + 6.0 * frac) * static_cast<double>(util::kGiB);
+    const double cpu_cores = 0.3 + 0.5 * frac;
+    const double ws = ram_bytes * 0.8;
+    const bool heavy = (w % 2) == 1;
+    if (heavy) out.update_heavy.push_back(w);
+    // Calibrated against the *fitted* spindle frontier, the same curve the
+    // evaluator prices the class with.
+    const double rate_base =
+        heavy ? 0.55 * spindle_model->MaxSustainableRate(ws) : 8.0;
+
+    std::vector<double> cpu(config.steps), ram(config.steps), rate(config.steps);
+    for (int t = 0; t < config.steps; ++t) {
+      cpu[t] = std::max(0.02, cpu_cores * (1.0 + 0.03 * wl_rng.Gaussian(0.0, 1.0)));
+      ram[t] = ram_bytes * (1.0 + 0.01 * wl_rng.Gaussian(0.0, 1.0));
+      rate[t] = std::max(0.0, rate_base * (1.0 + 0.02 * wl_rng.Gaussian(0.0, 1.0)));
+    }
+    p.cpu_cores = util::TimeSeries(config.interval_seconds, cpu);
+    p.ram_bytes = util::TimeSeries(config.interval_seconds, ram);
+    p.update_rows_per_sec = util::TimeSeries(config.interval_seconds, rate);
+    p.working_set_bytes = ws;
+    out.profiles.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
 
 FleetScenario MakeFleetScenario(FleetScenarioKind kind,
                                 const ScenarioConfig& config_in) {
   ScenarioConfig config = config_in;
   config.workloads = std::max(2, config.workloads);
   config.steps = std::max(2, config.steps);
+  if (kind == FleetScenarioKind::kRaidVsSpindle) {
+    return MakeRaidVsSpindle(config);
+  }
 
   FleetScenario out;
   util::Rng rng(config.seed ^ (0xF1EE7ull + static_cast<uint64_t>(kind)));
@@ -190,6 +268,8 @@ FleetScenario MakeFleetScenario(FleetScenarioKind kind,
           .AddClass(BigNode(), std::max(2, config.workloads / 5), 1.8);
       break;
     }
+    case FleetScenarioKind::kRaidVsSpindle:
+      break;  // handled above
   }
   out.weakest_class = 0;
 

@@ -67,6 +67,12 @@ enum class FleetScenarioKind {
   /// Generation upgrade: a mixed fleet whose legacy class is drained
   /// mid-horizon ("evacuate all server1-generation nodes").
   kGenerationUpgrade,
+  /// RAID vs spindle: two classes with identical CPU/RAM but *different
+  /// per-class disk models* — cheap single-spindle boxes next to dearer
+  /// battery-backed RAID-10 boxes. Half the workloads are update-heavy
+  /// (sized so a spindle sustains one of them but never two); the cheapest
+  /// placement parks the update-heavy tenants on the RAID class.
+  kRaidVsSpindle,
 };
 
 /// All fleet scenarios, in sweep order.
@@ -87,6 +93,10 @@ struct FleetScenario {
   /// (-1 / -1 for the other scenarios).
   int drain_step = -1;
   int drain_class = -1;
+  /// kRaidVsSpindle: the class carrying the strong (RAID) disk model (-1
+  /// for the other scenarios) and the update-heavy workload indices.
+  int raid_class = -1;
+  std::vector<int> update_heavy;
 };
 
 /// Deterministic generator: fixed (kind, config) gives identical output.
