@@ -187,6 +187,69 @@ void RaidVsSpindle(int steps, const solve::SolveBudget& budget) {
   std::printf("\n");
 }
 
+/// Count-prefix vs cost-budget dimensioning head-to-head on the engine
+/// solver: fleet cost on the scenarios where the declaration order hides
+/// the good class mix (the ROADMAP's bounded-K prefix-probing miss). The
+/// cheaper/denser class is declared last in both, so the legacy prefix can
+/// only reach it through the greedy rescue, while the budget search buys it
+/// outright.
+void DimensioningComparison(const std::vector<trace::FleetScenarioKind>& kinds,
+                            int steps, const solve::SolveBudget& budget) {
+  util::Table table({"scenario", "dimensioning", "feasible", "fleet cost",
+                     "servers", "budget probes", "chosen mix"});
+  for (trace::FleetScenarioKind kind : kinds) {
+    trace::ScenarioConfig config;
+    config.steps = steps;
+    config.seed = bench::kSeed;
+    const trace::FleetScenario scenario = trace::MakeFleetScenario(kind, config);
+    core::ConsolidationProblem problem;
+    problem.workloads = scenario.profiles;
+    problem.fleet = scenario.fleet;
+
+    double prefix_cost = 0, budget_cost = 0;
+    for (core::DimensioningMode mode :
+         {core::DimensioningMode::kCountPrefix,
+          core::DimensioningMode::kCostBudget}) {
+      core::EngineOptions options;
+      options.seed = bench::kSeed;
+      options.direct_evaluations = budget.direct_evaluations;
+      options.probe_direct_evaluations = budget.probe_direct_evaluations;
+      options.local_search_max_sweeps = budget.local_search_max_sweeps;
+      options.dimensioning = mode;
+      const core::ConsolidationPlan plan =
+          core::ConsolidationEngine(problem, options).Solve();
+      std::string mix = "-";
+      if (!plan.chosen_class_counts.empty()) {
+        mix.clear();
+        for (size_t c = 0; c < plan.chosen_class_counts.size(); ++c) {
+          if (c > 0) mix += " ";
+          mix += scenario.fleet.classes[c].spec.name + "=" +
+                 std::to_string(plan.chosen_class_counts[c]);
+        }
+      }
+      const bool cost_mode = mode == core::DimensioningMode::kCostBudget;
+      (cost_mode ? budget_cost : prefix_cost) = plan.fleet_cost;
+      table.AddRow({trace::FleetScenarioName(kind),
+                    cost_mode ? "cost-budget" : "count-prefix",
+                    plan.feasible ? "yes" : "NO",
+                    util::FormatDouble(plan.fleet_cost, 2),
+                    std::to_string(plan.servers_used),
+                    std::to_string(plan.budget_probes), mix});
+    }
+    std::printf("%s: cost-budget fleet cost %s vs count-prefix %s (%s%% cheaper)\n",
+                trace::FleetScenarioName(kind).c_str(),
+                util::FormatDouble(budget_cost, 2).c_str(),
+                util::FormatDouble(prefix_cost, 2).c_str(),
+                util::FormatDouble(
+                    prefix_cost > 0
+                        ? 100.0 * (prefix_cost - budget_cost) / prefix_cost
+                        : 0.0,
+                    1)
+                    .c_str());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
 void GenerationUpgradeDrain(int steps) {
   trace::ScenarioConfig config;
   config.steps = steps;
@@ -248,6 +311,11 @@ int main(int argc, char** argv) {
   bench::Banner("per-class disk models: RAID vs spindle");
   SweepScenario(trace::FleetScenarioKind::kRaidVsSpindle, steps, budget);
   RaidVsSpindle(steps, budget);
+
+  bench::Banner("cost-based dimensioning (count-prefix vs cost-budget)");
+  DimensioningComparison({trace::FleetScenarioKind::kRaidVsSpindle,
+                          trace::FleetScenarioKind::kScaleUpVsScaleOut},
+                         steps, budget);
 
   bench::Banner("generation-upgrade drain (online controller)");
   GenerationUpgradeDrain(smoke ? 32 : 64);

@@ -1,0 +1,310 @@
+#include "core/dimensioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/load_accountant.h"
+
+namespace kairos::core {
+
+namespace {
+
+/// Widest replica set of the problem: replicas never co-locate, so no
+/// subset smaller than this can host the load.
+int MinServersOf(const ConsolidationProblem& problem) {
+  int min_servers = 1;
+  for (const auto& w : problem.workloads) {
+    min_servers = std::max(min_servers, w.replicas);
+  }
+  return min_servers;
+}
+
+/// Moves pinned servers to the front of `order` (appending any pin the
+/// order does not contain, e.g. on a drained class): DecodePoint forces
+/// pins onto their servers, so every probed subset must contain them.
+std::vector<int> WithPinsFirst(const ConsolidationProblem& problem,
+                               std::vector<int> order, int cap) {
+  std::vector<int> pins;
+  for (const auto& w : problem.workloads) {
+    if (w.pinned_server >= 0 && w.pinned_server < cap) {
+      pins.push_back(w.pinned_server);
+    }
+  }
+  if (pins.empty()) return order;
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  std::vector<char> pinned(cap, 0);
+  for (int j : pins) pinned[j] = 1;
+  std::vector<int> out = std::move(pins);
+  for (int j : order) {
+    if (!pinned[j]) out.push_back(j);
+  }
+  return out;
+}
+
+/// The candidate purchase orders the budget search buys prefixes of. One
+/// density scalar cannot express "buy the dear disk class only for the
+/// update-heavy payload", so alongside the disk-aware dense order the
+/// search also tries cheapest-class-first and, per class, that class's
+/// servers first (dense within and after) — the "all on class c, then
+/// spill dense" mixes. Deduplicated, deterministic order.
+std::vector<std::vector<int>> CandidateOrders(
+    const ConsolidationProblem& problem, const LoadAccountant& acct, int cap) {
+  std::vector<std::vector<int>> orders;
+  const auto push = [&](std::vector<int> order) {
+    order = WithPinsFirst(problem, std::move(order), cap);
+    if (order.empty()) return;
+    if (std::find(orders.begin(), orders.end(), order) == orders.end()) {
+      orders.push_back(std::move(order));
+    }
+  };
+
+  const std::vector<int> dense = DenseServerOrder(acct);
+  push(dense);
+
+  // Cheapest class first (stable: ascending index within equal weight) —
+  // the order the legacy prefix approximates when cheap classes lead the
+  // declaration.
+  std::vector<int> cheap = acct.PlacableServers();
+  std::stable_sort(cheap.begin(), cheap.end(), [&](int a, int b) {
+    return acct.ClassWeight(acct.ClassOfServer(a)) <
+           acct.ClassWeight(acct.ClassOfServer(b));
+  });
+  push(std::move(cheap));
+
+  for (int c = 0; c < acct.num_classes(); ++c) {
+    if (acct.ClassDrained(c)) continue;
+    std::vector<int> first = dense;
+    std::stable_partition(first.begin(), first.end(), [&](int j) {
+      return acct.ClassOfServer(j) == c;
+    });
+    push(std::move(first));
+  }
+  return orders;
+}
+
+/// Shortest prefix of `order` whose idealized (fractional) aggregate
+/// capacity covers the peak demand on every axis — the cheapest prefix
+/// that could possibly host the load, hence the search's lower bound.
+int CoveragePrefix(const LoadAccountant& acct,
+                   const LoadAccountant::AggregateDemand& demand,
+                   int min_servers, const std::vector<int>& order) {
+  const int n = static_cast<int>(order.size());
+  const bool disk = acct.AnyDiskActive();
+  // Per-class membership of the prefix, maintained incrementally: the disk
+  // check below is then O(num_classes) per candidate m (capacity depends
+  // only on the class and the evenly spread working set).
+  std::vector<int> prefix_classes(acct.num_classes(), 0);
+  double cpu_sum = 0, ram_sum = 0;
+  for (int m = 1; m <= n; ++m) {
+    const int klass = acct.ClassOfServer(order[m - 1]);
+    ++prefix_classes[klass];
+    cpu_sum += acct.CapacityOfClass(klass).cpu_cores;
+    ram_sum += acct.CapacityOfClass(klass).ram_bytes;
+    if (m < min_servers || cpu_sum < demand.peak_cpu ||
+        ram_sum < demand.peak_ram) {
+      continue;
+    }
+    if (disk) {
+      // Working set spread evenly over the prefix; an inactive disk axis
+      // sustains any rate (unbounded capacity), settling the check.
+      const double ws_per = demand.ws / static_cast<double>(m);
+      double rate_sum = 0;
+      for (int c = 0; c < acct.num_classes(); ++c) {
+        if (prefix_classes[c] > 0) {
+          rate_sum += acct.Disk(c).UsableCapacity(ws_per) *
+                      static_cast<double>(prefix_classes[c]);
+        }
+      }
+      if (rate_sum < demand.peak_rate) continue;
+    }
+    return m;
+  }
+  return n;
+}
+
+/// First m of the purchase order, as an ascending server-index subset.
+std::vector<int> SubsetOf(const std::vector<int>& order, int m) {
+  std::vector<int> subset(order.begin(), order.begin() + m);
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+}  // namespace
+
+FleetDimensioner::FleetDimensioner(const ConsolidationProblem& problem,
+                                   ConsolidationEngine& engine,
+                                   const EngineOptions& options)
+    : problem_(problem), engine_(engine), options_(options) {}
+
+DimensioningResult FleetDimensioner::Run(
+    const GreedyResult& greedy_upper,
+    const std::function<void(const Assignment&)>& on_improve) {
+  DimensioningResult result;
+  const int cap = problem_.ServerCap();
+  if (cap < 1 || problem_.TotalSlots() == 0) return result;
+  const LoadAccountant acct(problem_, cap, /*track_server_load=*/false);
+  const LoadAccountant::AggregateDemand demand = acct.TotalDemand();
+  const int min_servers = MinServersOf(problem_);
+  const std::vector<std::vector<int>> orders =
+      CandidateOrders(problem_, acct, cap);
+
+  const auto stop = [&] {
+    return options_.should_stop && options_.should_stop();
+  };
+  // Fleet cost of the class-aware greedy baseline: the known-feasible
+  // anchor the first upper budget is derived from (legacy anchors its
+  // upper K on the greedy server count the same way).
+  double greedy_cost = -1.0;
+  if (greedy_upper.feasible) {
+    std::vector<char> used(cap, 0);
+    for (int s : greedy_upper.assignment.server_of_slot) {
+      if (s >= 0 && s < cap) used[s] = 1;
+    }
+    std::vector<int> greedy_servers;
+    for (int j = 0; j < cap; ++j) {
+      if (used[j]) greedy_servers.push_back(j);
+    }
+    greedy_cost = problem_.fleet.CostOfServers(greedy_servers);
+  }
+
+  Assignment best;
+  int best_m = -1;
+  const std::vector<int>* best_order = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (const std::vector<int>& order : orders) {
+    if (stop()) break;
+    const int n = static_cast<int>(order.size());
+    // Prefix fleet costs B(m); nested prefixes make feasibility monotone
+    // in m, so a binary search on m IS the budget binary search.
+    std::vector<double> prefix_cost(n + 1, 0.0);
+    for (int m = 1; m <= n; ++m) {
+      prefix_cost[m] =
+          prefix_cost[m - 1] +
+          problem_.fleet.classes[problem_.fleet.ClassOf(order[m - 1])]
+              .cost_weight;
+    }
+    const int m_lo = CoveragePrefix(acct, demand, min_servers, order);
+    // This order cannot beat the incumbent mix even fractionally: skip.
+    if (prefix_cost[m_lo] >= best_cost) continue;
+
+    int m_hi = n;
+    if (best_m >= 0) {
+      // With an incumbent, probe right below its cost: the largest prefix
+      // that could still improve. A failed probe there rules the whole
+      // order out (feasibility is monotone in the prefix), regardless of
+      // where the greedy-derived anchor sits.
+      while (m_hi > m_lo && prefix_cost[m_hi] >= best_cost) --m_hi;
+    } else if (greedy_cost >= 0.0) {
+      for (int m = 1; m <= n; ++m) {
+        if (prefix_cost[m] >= greedy_cost - 1e-9) {
+          m_hi = m;
+          break;
+        }
+      }
+    }
+    if (m_hi < m_lo) m_hi = m_lo;
+
+    const auto probe = [&](int m, Assignment* out) {
+      ++result.budget_probes;
+      return engine_.ProbeServers(SubsetOf(order, m),
+                                  options_.probe_direct_evaluations, out);
+    };
+    const auto improve = [&](const Assignment& a, int m) {
+      best = a;
+      best_m = m;
+      best_order = &order;
+      best_cost = prefix_cost[m];
+      if (on_improve) on_improve(best);
+    };
+
+    Assignment a;
+    if (probe(m_hi, &a)) {
+      if (prefix_cost[m_hi] < best_cost) improve(a, m_hi);
+      int lo = m_lo, hi = m_hi;
+      while (lo < hi && !stop()) {
+        const int mid = lo + (hi - lo) / 2;
+        Assignment mid_a;
+        if (probe(mid, &mid_a)) {
+          if (prefix_cost[mid] < best_cost) improve(mid_a, mid);
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    } else if (best_m < 0 && m_hi < n && !stop()) {
+      // Nothing feasible anywhere yet: relax this order's budget upward
+      // (the greedy-derived upper bound is heuristic — its cost buys a
+      // different mix here). Probe the whole order once; if even that
+      // fails the order is out, otherwise binary-search the gap so big
+      // fleets pay O(log n) probes, not a linear walk. Later orders are
+      // only probed below the incumbent cost, where the failed top probe
+      // already ruled them out (feasibility is monotone in the prefix).
+      Assignment full;
+      if (probe(n, &full)) {
+        improve(full, n);
+        int lo = m_hi + 1, hi = n;
+        while (lo < hi && !stop()) {
+          const int mid = lo + (hi - lo) / 2;
+          Assignment mid_a;
+          if (probe(mid, &mid_a)) {
+            improve(mid_a, mid);
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+      }
+    }
+  }
+
+  if (best_m < 0 || best_order == nullptr) return result;
+  result.found = true;
+  result.assignment = std::move(best);
+  result.servers = SubsetOf(*best_order, best_m);
+  result.class_counts.assign(problem_.fleet.num_classes(), 0);
+  for (int j : result.servers) {
+    ++result.class_counts[problem_.fleet.ClassOf(j)];
+  }
+  result.budget = problem_.fleet.CostOfServers(result.servers);
+  return result;
+}
+
+Assignment FleetDimensioner::GreedySeed(const ConsolidationProblem& problem,
+                                        int cap) {
+  bool clean = false;
+  if (cap < 1 || problem.TotalSlots() == 0) {
+    return GreedyMultiResource(problem, cap, &clean);
+  }
+  const LoadAccountant acct(problem, cap, /*track_server_load=*/false);
+  const LoadAccountant::AggregateDemand demand = acct.TotalDemand();
+  const int min_servers = MinServersOf(problem);
+  const std::vector<std::vector<int>> orders = CandidateOrders(problem, acct, cap);
+
+  // No probes here: pick the candidate coverage prefix with the cheapest
+  // fractional-cover cost and pack restricted to it. Deterministic, and
+  // cheap enough to run per metaheuristic warm start.
+  const std::vector<int>* seed_order = nullptr;
+  int seed_m = 0;
+  double seed_cost = std::numeric_limits<double>::infinity();
+  for (const std::vector<int>& order : orders) {
+    const int m = CoveragePrefix(acct, demand, min_servers, order);
+    if (m <= 0) continue;
+    double cost = 0;
+    for (int i = 0; i < m; ++i) {
+      cost += problem.fleet.classes[problem.fleet.ClassOf(order[i])].cost_weight;
+    }
+    if (cost < seed_cost) {
+      seed_cost = cost;
+      seed_order = &order;
+      seed_m = m;
+    }
+  }
+  if (seed_order == nullptr) return GreedyMultiResource(problem, cap, &clean);
+  const std::vector<int> subset = SubsetOf(*seed_order, seed_m);
+  return GreedyMultiResource(problem, cap, &clean, &subset);
+}
+
+}  // namespace kairos::core

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/dimensioner.h"
 #include "opt/direct.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -44,10 +45,13 @@ Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k,
 }
 
 Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value,
-                                          int* evals_out) {
+                                          int* evals_out,
+                                          const std::vector<int>* targets_override) {
   Evaluator ev(problem_, k);
   const sim::FleetSpec::PlacementMask mask = problem_.fleet.PlacementTargets(k);
-  const std::vector<int>* targets = mask.masked ? &mask.targets : nullptr;
+  const std::vector<int>* targets =
+      targets_override != nullptr ? targets_override
+                                  : (mask.masked ? &mask.targets : nullptr);
   const int dims = ev.num_slots();
   opt::DirectOptimizer direct;
   opt::DirectOptions opts;
@@ -62,17 +66,31 @@ Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value
   return DecodePoint(res.x, k, targets);
 }
 
-void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng) {
+void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng,
+                                      const std::vector<int>* targets) {
   const int slots = ev->num_slots();
   std::vector<int> order(slots);
   std::iota(order.begin(), order.end(), 0);
-  // Relocation targets: placable servers only (the hard drain mask). With
-  // nothing drained this is exactly [0, k) — the classic scan. A fully
-  // drained fleet degenerates back to the full scan.
+  // Relocation targets: placable servers only (the hard drain mask), or the
+  // caller's explicit subset (cost-budget dimensioning). With nothing
+  // drained and no subset this is exactly [0, k) — the classic scan. A
+  // fully drained fleet degenerates back to the full scan.
   const LoadAccountant& acct = ev->accountant();
   const sim::FleetSpec::PlacementMask mask =
-      problem_.fleet.PlacementTargets(ev->max_servers());
+      targets != nullptr ? sim::FleetSpec::PlacementMask{*targets, true}
+                         : problem_.fleet.PlacementTargets(ev->max_servers());
+  // Swap guard: with an explicit subset, both endpoints must be members
+  // (a seed may still sit on un-bought servers); under the drain mask the
+  // guard is exactly "not drained", as before.
+  std::vector<char> swap_ok;
+  if (targets != nullptr) {
+    swap_ok.assign(ev->max_servers(), 0);
+    for (int j : *targets) {
+      if (j >= 0 && j < ev->max_servers()) swap_ok[j] = 1;
+    }
+  }
   const auto drained_server = [&](int j) {
+    if (targets != nullptr) return swap_ok[j] == 0;
     return mask.masked && acct.ClassDrained(acct.ClassOfServer(j));
   };
 
@@ -178,6 +196,51 @@ bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
   return false;
 }
 
+bool ConsolidationEngine::ProbeServers(const std::vector<int>& servers,
+                                       int direct_budget, Assignment* out) {
+  if (servers.empty()) return false;
+  if (options_.should_stop && options_.should_stop()) return false;
+  const int k = problem_.ServerCap();
+  util::Rng rng(options_.seed ^
+                (0xB06DULL * (static_cast<uint64_t>(servers.size()) + 1)));
+
+  // 1. Multi-resource greedy restricted to the subset, then local search
+  //    over the same subset.
+  bool greedy_clean = false;
+  Assignment seed = GreedyMultiResource(problem_, k, &greedy_clean, &servers);
+  Evaluator ev(problem_, k);
+  ev.Load(seed.server_of_slot);
+  if (!ev.IsFeasible()) {
+    LocalSearch(&ev, options_.local_search_max_sweeps, &rng, &servers);
+  }
+  if (ev.IsFeasible()) {
+    if (out) out->server_of_slot = ev.assignment();
+    return true;
+  }
+
+  // 2. DIRECT global probe over the subset encoding with early stop at the
+  //    first feasible value, then a final repair pass. Any feasible plan
+  //    within the subset costs at most the sum of the members' weighted
+  //    server costs plus a balance tail of e each — the subset analogue of
+  //    the prefix probe's threshold.
+  const double feasible_threshold =
+      kServerCost * ev.accountant().SubsetWeight(servers) +
+      static_cast<double>(servers.size()) * std::exp(1.0);
+  int evals = 0;
+  Assignment candidate =
+      RunDirect(k, direct_budget, feasible_threshold, &evals, &servers);
+  evaluations_ += evals;
+  ev.Load(candidate.server_of_slot);
+  if (!ev.IsFeasible()) {
+    LocalSearch(&ev, options_.local_search_max_sweeps, &rng, &servers);
+  }
+  if (ev.IsFeasible()) {
+    if (out) out->server_of_slot = ev.assignment();
+    return true;
+  }
+  return false;
+}
+
 ConsolidationPlan ConsolidationEngine::Solve() {
   const auto start = std::chrono::steady_clock::now();
   ConsolidationPlan plan;
@@ -199,6 +262,10 @@ ConsolidationPlan ConsolidationEngine::Solve() {
 
   Assignment best;
   int best_k = -1;
+  int budget_probes = 0;
+  std::vector<int> chosen_class_counts;
+  std::vector<int> chosen_servers;
+  bool polished_multi_greedy_fallback = false;
 
   const auto broadcast = [this](const Assignment& a, int k) {
     if (!options_.on_incumbent) return;
@@ -210,7 +277,28 @@ ConsolidationPlan ConsolidationEngine::Solve() {
     return options_.should_stop && options_.should_stop();
   };
 
-  if (options_.use_bounded_k) {
+  // Cost-based dimensioning replaces the count-prefix binary search on
+  // heterogeneous fleets: the prefix [0, K) of the declaration order can
+  // never open a cheaper class declared late, while the budget search buys
+  // dense-first class mixes. Uniform fleets keep the count path — prefix
+  // order is immaterial there and the classic results stay bit-identical.
+  const bool cost_budget =
+      options_.use_bounded_k &&
+      options_.dimensioning == DimensioningMode::kCostBudget &&
+      !problem_.fleet.Uniform();
+
+  if (cost_budget) {
+    FleetDimensioner dimensioner(problem_, *this, options_);
+    const DimensioningResult dim = dimensioner.Run(
+        greedy, [&](const Assignment& a) { broadcast(a, hard_cap); });
+    budget_probes = dim.budget_probes;
+    if (dim.found) {
+      best = dim.assignment;
+      best_k = hard_cap;
+      chosen_class_counts = dim.class_counts;
+      chosen_servers = dim.servers;
+    }
+  } else if (options_.use_bounded_k) {
     // Binary search for the smallest feasible K' (Section 6).
     // First make sure the upper bound actually works.
     Assignment a;
@@ -262,28 +350,51 @@ ConsolidationPlan ConsolidationEngine::Solve() {
     bool clean = false;
     best = GreedyMultiResource(problem_, hard_cap, &clean);
     best_k = hard_cap;
+    polished_multi_greedy_fallback = true;
   }
 
-  // Final polish at K' with the full budget. PolishPlan reports from
-  // scratch, so carry over the bound fields computed above.
-  ConsolidationPlan polished = PolishPlan(best, best_k);
+  // Final polish at K' with the full budget (restricted to the dimensioner's
+  // chosen multiset when there is one). PolishPlan reports from scratch, so
+  // carry over the bound fields computed above.
+  ConsolidationPlan polished = PolishPlan(
+      best, best_k, chosen_servers.empty() ? nullptr : &chosen_servers);
   polished.fractional_lower_bound = plan.fractional_lower_bound;
   polished.greedy_servers = plan.greedy_servers;
+  polished.budget_probes = budget_probes;
+  polished.chosen_class_counts = chosen_class_counts;
   plan = std::move(polished);
 
-  if (!problem_.fleet.Uniform() && greedy.feasible) {
-    // Bounded-K probes the declaration-order prefix [0, k) of the fleet's
-    // index space, which can never open a cheaper class declared late; the
-    // class-aware greedy baseline sees the whole fleet, so never return a
-    // plan worse than it. (Uniform fleets skip this: prefix order is
-    // immaterial there and the classic path stays bit-identical.)
-    ConsolidationPlan from_greedy = PolishPlan(greedy.assignment, hard_cap);
-    if ((from_greedy.feasible && !plan.feasible) ||
-        (from_greedy.feasible == plan.feasible &&
-         from_greedy.objective < plan.objective)) {
-      from_greedy.fractional_lower_bound = plan.fractional_lower_bound;
-      from_greedy.greedy_servers = plan.greedy_servers;
-      plan = std::move(from_greedy);
+  if (!problem_.fleet.Uniform()) {
+    // Safety net on heterogeneous fleets: the class-aware greedy baseline
+    // sees the whole fleet, so never return a plan worse than what it
+    // reaches — compare PolishPlan outcomes (feasible beats infeasible,
+    // then objective) even when the greedy packing itself was flagged
+    // infeasible, since its polish can still be *less* infeasible than the
+    // probed plan. (Uniform fleets skip this: the classic path stays
+    // bit-identical.)
+    Assignment rescue_seed;
+    bool have_rescue = false;
+    if (greedy.feasible) {
+      rescue_seed = greedy.assignment;
+      have_rescue = true;
+    } else if (!polished_multi_greedy_fallback) {
+      // GreedyBaseline found nothing clean; its multi-resource completion is
+      // still a whole-fleet seed worth polishing (skipped when the plan
+      // above already IS that polish).
+      bool clean = false;
+      rescue_seed = GreedyMultiResource(problem_, hard_cap, &clean);
+      have_rescue = true;
+    }
+    if (have_rescue) {
+      ConsolidationPlan from_greedy = PolishPlan(rescue_seed, hard_cap);
+      if ((from_greedy.feasible && !plan.feasible) ||
+          (from_greedy.feasible == plan.feasible &&
+           from_greedy.objective < plan.objective)) {
+        from_greedy.fractional_lower_bound = plan.fractional_lower_bound;
+        from_greedy.greedy_servers = plan.greedy_servers;
+        from_greedy.budget_probes = budget_probes;
+        plan = std::move(from_greedy);
+      }
     }
   }
 
@@ -293,7 +404,8 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   return plan;
 }
 
-ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, int k) {
+ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, int k,
+                                                  const std::vector<int>* targets) {
   // When the race is already over, skip the polish entirely: report the
   // incumbent as-is so the portfolio can join quickly.
   if (options_.should_stop && options_.should_stop()) {
@@ -309,7 +421,7 @@ ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, i
   util::Rng rng(options_.seed + 17);
   Evaluator ev(problem_, k);
   ev.Load(incumbent.server_of_slot);
-  LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng);
+  LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng, targets);
   double best_cost = ev.current_cost();
   std::vector<int> best_assign = ev.assignment();
   const bool best_feasible = ev.IsFeasible();
@@ -317,11 +429,12 @@ ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, i
   if (options_.use_bounded_k &&
       !(options_.should_stop && options_.should_stop())) {
     int evals = 0;
-    Assignment polished = RunDirect(k, options_.direct_evaluations, -1e300, &evals);
+    Assignment polished =
+        RunDirect(k, options_.direct_evaluations, -1e300, &evals, targets);
     evaluations_ += evals;
     Evaluator ev2(problem_, k);
     ev2.Load(polished.server_of_slot);
-    LocalSearch(&ev2, options_.local_search_max_sweeps, &rng);
+    LocalSearch(&ev2, options_.local_search_max_sweeps, &rng, targets);
     if (ev2.current_cost() < best_cost && (ev2.IsFeasible() || !best_feasible)) {
       best_cost = ev2.current_cost();
       best_assign = ev2.assignment();
@@ -383,6 +496,15 @@ std::string ConsolidationPlan::Render() const {
     for (size_t c = 0; c < class_servers_used.size(); ++c) {
       out << " " << (c < class_names.size() ? class_names[c] : "class") << "="
           << class_servers_used[c];
+    }
+    out << "\n";
+  }
+  if (!chosen_class_counts.empty()) {
+    out << "dimensioning: cost-budget (" << budget_probes
+        << " budget probes), chosen mix:";
+    for (size_t c = 0; c < chosen_class_counts.size(); ++c) {
+      out << " " << (c < class_names.size() ? class_names[c] : "class") << "="
+          << chosen_class_counts[c];
     }
     out << "\n";
   }

@@ -18,6 +18,20 @@
 
 namespace kairos::core {
 
+/// How the bounded search dimensions the target fleet.
+enum class DimensioningMode {
+  /// Legacy Section-6 behaviour: binary search on the server *count* K,
+  /// probing the declaration-order prefix [0, K) of the fleet's index
+  /// space. Exact on uniform fleets, where prefix order is immaterial; on
+  /// mixed fleets it can never open a cheaper class declared late.
+  kCountPrefix,
+  /// Cost-based: binary search on the total fleet-cost *budget*, each probe
+  /// buying the cheapest-dense-first multiset of per-class servers within
+  /// budget (core::FleetDimensioner). Uniform fleets still take the
+  /// bit-identical count-prefix path — there the two searches coincide.
+  kCostBudget,
+};
+
 /// Solver budgets and switches.
 struct EngineOptions {
   uint64_t seed = 1;
@@ -33,6 +47,10 @@ struct EngineOptions {
   bool use_bounded_k = true;
   /// DIRECT local/global balance.
   double direct_epsilon = 1e-3;
+  /// How the bounded search dimensions heterogeneous fleets (only read when
+  /// use_bounded_k is set; uniform fleets always take the count-prefix
+  /// path, which is exact for them and stays bit-identical).
+  DimensioningMode dimensioning = DimensioningMode::kCostBudget;
 
   /// Called whenever the engine improves its incumbent (after each
   /// successful feasibility probe and after the final polish). Lets a
@@ -65,6 +83,13 @@ struct ConsolidationPlan {
   int fractional_lower_bound = 0;
   /// Greedy baseline server count (-1 when greedy found nothing feasible).
   int greedy_servers = -1;
+  /// Budget/mix probes the cost-based dimensioner ran (0 under count-prefix
+  /// dimensioning or on uniform fleets).
+  int budget_probes = 0;
+  /// Per-class server counts of the dimensioner's chosen mix — what the
+  /// budget search *bought* (class_servers_used is what the plan occupies).
+  /// Empty when the plan did not come from cost-based dimensioning.
+  std::vector<int> chosen_class_counts;
   /// Per-used-server load summaries, indexed densely (only used servers).
   std::vector<Evaluator::ServerLoad> server_loads;
   /// Migration penalty included in `objective` (0 unless the problem
@@ -92,18 +117,33 @@ class ConsolidationEngine {
   /// the probe budget. Exposed for the solver-performance experiments.
   bool ProbeK(int k, int direct_budget, Assignment* out);
 
+  /// Tries to find a feasible assignment restricted to exactly `servers`
+  /// (an explicit multiset of the index space — the cost-based
+  /// dimensioner's probe; pinned servers must be included by the caller).
+  /// Unused members cost nothing, so the probe minimizes within the subset.
+  bool ProbeServers(const std::vector<int>& servers, int direct_budget,
+                    Assignment* out);
+
   /// The final polish phase: local search around `incumbent` at `k`
   /// servers (plus a DIRECT pass when bounded-K is enabled), returning the
   /// fully reported plan. Exposed so portfolio solvers can polish a seed
-  /// produced elsewhere.
-  ConsolidationPlan PolishPlan(const Assignment& incumbent, int k);
+  /// produced elsewhere. A non-null `targets` restricts every move and the
+  /// DIRECT encoding to that server subset (cost-budget dimensioning);
+  /// null keeps the classic fleet-wide polish.
+  ConsolidationPlan PolishPlan(const Assignment& incumbent, int k,
+                               const std::vector<int>* targets = nullptr);
 
  private:
-  /// First-improvement local search with an extra swap pass.
-  void LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng);
+  /// First-improvement local search with an extra swap pass. A non-null
+  /// `targets` restricts relocation targets and swap endpoints to that
+  /// subset; null uses the fleet's placement mask (the classic scan).
+  void LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* rng,
+                   const std::vector<int>* targets = nullptr);
 
-  /// DIRECT over the slot->server encoding with `k` servers.
-  Assignment RunDirect(int k, int budget, double target_value, int* evals_out);
+  /// DIRECT over the slot->server encoding with `k` servers. A non-null
+  /// `targets` overrides the fleet placement mask with an explicit subset.
+  Assignment RunDirect(int k, int budget, double target_value, int* evals_out,
+                       const std::vector<int>* targets = nullptr);
 
   /// Respects pins when decoding DIRECT points. A non-empty `targets`
   /// restricts the encoding to those servers (the hard drain mask).

@@ -13,17 +13,21 @@ namespace {
 /// Per-server view of the problem's fleet within a server cap, on top of
 /// the accountant's per-class models: the open orders in which the packers
 /// open servers (drained classes are excluded outright — the hard
-/// placement mask) plus shorthand capacity accessors.
+/// placement mask) plus shorthand capacity accessors. A non-null `allowed`
+/// further restricts both orders to that subset (the cost-based
+/// dimensioner's budget-selected multiset).
 struct FleetView {
   const LoadAccountant& acct;
   int cap = 0;
   std::vector<int> open_order;  // placable server indices, cheap first
+  const std::vector<int>* allowed = nullptr;
 
-  explicit FleetView(const LoadAccountant& accountant)
-      : acct(accountant), cap(accountant.num_servers()) {
+  explicit FleetView(const LoadAccountant& accountant,
+                     const std::vector<int>* allowed_servers = nullptr)
+      : acct(accountant), cap(accountant.num_servers()), allowed(allowed_servers) {
     // Cheapest class first ("fill cheap classes first"); stable, so the
     // uniform fleet keeps the classic ascending-index open order.
-    open_order = acct.PlacableServers();
+    open_order = Restrict(acct.PlacableServers());
     std::stable_sort(open_order.begin(), open_order.end(), [&](int a, int b) {
       return Weight(a) < Weight(b);
     });
@@ -31,18 +35,18 @@ struct FleetView {
 
   /// Alternative open order: best capacity-per-cost first (a scale-up
   /// packing — open the dense boxes first even though each costs more).
-  std::vector<int> DenseOrder() const {
-    const sim::EffectiveCapacity best = acct.BestClass();
-    // Cost per unit of combined normalized capacity; lower is denser value.
-    auto score = [&](int j) {
-      const sim::EffectiveCapacity& c = acct.CapacityOfClass(acct.ClassOfServer(j));
-      const double capacity = c.cpu_cores / std::max(1e-9, best.cpu_cores) +
-                              c.ram_bytes / std::max(1e-9, best.ram_bytes);
-      return Weight(j) / std::max(1e-9, capacity);
-    };
-    std::vector<int> order = acct.PlacableServers();
-    std::stable_sort(order.begin(), order.end(),
-                     [&](int a, int b) { return score(a) < score(b); });
+  std::vector<int> DenseOrder() const { return Restrict(DenseServerOrder(acct)); }
+
+  /// Drops servers outside the allowed subset (no-op when unrestricted).
+  std::vector<int> Restrict(std::vector<int> order) const {
+    if (allowed == nullptr) return order;
+    std::vector<char> in(cap, 0);
+    for (int j : *allowed) {
+      if (j >= 0 && j < cap) in[j] = 1;
+    }
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [&](int j) { return !in[j]; }),
+                order.end());
     return order;
   }
 
@@ -83,11 +87,42 @@ double PeakOf(const double* v, int n) {
   return peak;
 }
 
-double PeakOf(const std::vector<double>& v) {
-  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
-}
-
 }  // namespace
+
+std::vector<int> DenseServerOrder(const LoadAccountant& acct) {
+  const sim::EffectiveCapacity best = acct.BestClass();
+  // Largest headroomed sustainable rate at zero working set across the
+  // classes with an active disk axis — the disk term's normalizer.
+  const bool disk_aware = acct.AnyDiskActive();
+  double best_disk = 0.0;
+  if (disk_aware) {
+    for (int c = 0; c < acct.num_classes(); ++c) {
+      if (acct.Disk(c).active()) {
+        best_disk = std::max(best_disk, acct.Disk(c).UsableCapacity(0.0));
+      }
+    }
+  }
+  // Cost per unit of combined normalized capacity; lower is denser value.
+  // Without any disk model the score is CPU/RAM-only, bit-identical to the
+  // pre-disk-aware order.
+  auto score = [&](int j) {
+    const int klass = acct.ClassOfServer(j);
+    const sim::EffectiveCapacity& c = acct.CapacityOfClass(klass);
+    double capacity = c.cpu_cores / std::max(1e-9, best.cpu_cores) +
+                      c.ram_bytes / std::max(1e-9, best.ram_bytes);
+    if (disk_aware && best_disk > 0.0) {
+      // A class without a disk limit sustains any rate: credit it with the
+      // best class's share.
+      const model::DiskResource& disk = acct.Disk(klass);
+      capacity += disk.active() ? disk.UsableCapacity(0.0) / best_disk : 1.0;
+    }
+    return acct.ClassWeight(klass) / std::max(1e-9, capacity);
+  };
+  std::vector<int> order = acct.PlacableServers();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return score(a) < score(b); });
+  return order;
+}
 
 std::string ResourceName(Resource r) {
   switch (r) {
@@ -262,7 +297,8 @@ GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers
 }
 
 Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
-                               bool* feasible) {
+                               bool* feasible,
+                               const std::vector<int>* allowed_servers) {
   const LoadAccountant acct(problem,
                             std::max(1, problem.ServerCap(max_servers)),
                             /*track_server_load=*/false);
@@ -274,7 +310,7 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
     return out;
   }
   const int samples = acct.num_samples();
-  const FleetView fleet(acct);
+  const FleetView fleet(acct, allowed_servers);
 
   const double cpu_overhead = problem.per_instance_cpu_overhead_cores;
   const double ram_overhead =
@@ -425,35 +461,107 @@ int FractionalLowerBound(const ConsolidationProblem& problem) {
   const LoadAccountant acct(problem, 1, /*track_server_load=*/false);
   const int num_slots = acct.num_slots();
   if (num_slots == 0) return 0;
-  const int samples = acct.num_samples();
 
-  // Aggregate demand over time.
-  std::vector<double> cpu(samples, 0.0), ram(samples, 0.0), rate(samples, 0.0);
-  double ws = 0;
-  for (int s = 0; s < num_slots; ++s) {
-    const double* s_cpu = acct.SlotSeries(Axis::kCpu, s);
-    const double* s_ram = acct.SlotSeries(Axis::kRam, s);
-    const double* s_rate = acct.SlotSeries(Axis::kRate, s);
-    for (int t = 0; t < samples; ++t) {
-      cpu[t] += s_cpu[t];
-      ram[t] += s_ram[t];
-      rate[t] += s_rate[t];
+  const LoadAccountant::AggregateDemand demand = acct.TotalDemand();
+  if (problem.fleet.UniformMachines()) {
+    // One machine type: every server IS the best class, so the classic
+    // idealized arithmetic applies directly (and stays bit-identical).
+    const sim::EffectiveCapacity best = acct.BestClass();
+    int k = 1;
+    k = std::max(k,
+                 static_cast<int>(std::ceil(demand.peak_cpu / best.cpu_cores)));
+    k = std::max(k,
+                 static_cast<int>(std::ceil(demand.peak_ram / best.ram_bytes)));
+    if (acct.AnyDiskActive()) {
+      while (k < num_slots) {
+        const double cap_per_server =
+            acct.BestUsableDiskCapacity(demand.ws / static_cast<double>(k));
+        if (demand.peak_rate <= cap_per_server * static_cast<double>(k)) break;
+        ++k;
+      }
     }
-    ws += acct.SlotWs(s);
+    return k;
   }
-  // Idealized: every server is as large as the fleet's best class, so the
-  // bound stays valid for any class mix.
-  const sim::EffectiveCapacity best = acct.BestClass();
 
-  int k = 1;
-  k = std::max(k, static_cast<int>(std::ceil(PeakOf(cpu) / best.cpu_cores)));
-  k = std::max(k, static_cast<int>(std::ceil(PeakOf(ram) / best.ram_bytes)));
+  // Mixed fleet: pretending every server matches the best class reports
+  // unreachable bounds when that class has a small bounded count. Fill each
+  // axis's demand best-class-first up to each class's available count before
+  // spilling to the next class — still fractional (workloads divisible,
+  // axes independent), so still a valid lower bound.
+  const int cap = problem.ServerCap();
+  std::vector<int> counts = problem.fleet.ClassCounts(cap);
+  const int num_classes = acct.num_classes();
+  bool any_placable = false;
+  for (int c = 0; c < num_classes; ++c) {
+    any_placable = any_placable || (counts[c] > 0 && !acct.ClassDrained(c));
+  }
+  if (any_placable) {
+    // Drained classes host nothing; a degenerate all-drained fleet keeps
+    // every class, matching the packers' fallback.
+    for (int c = 0; c < num_classes; ++c) {
+      if (acct.ClassDrained(c)) counts[c] = 0;
+    }
+  }
+  int total_count = 0;
+  for (int c = 0; c < num_classes; ++c) total_count += counts[c];
+  if (total_count == 0) return 1;
+
+  // Servers needed to cover `demand` on one linear axis, biggest class
+  // first (the greedy fill is exact for a single axis).
+  const auto fill_linear = [&](double demand,
+                               const std::vector<double>& class_cap) {
+    std::vector<int> order(num_classes);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return class_cap[a] > class_cap[b];
+    });
+    int k = 0;
+    for (int c : order) {
+      if (demand <= 0.0) break;
+      if (counts[c] <= 0 || class_cap[c] <= 0.0) continue;
+      const int need =
+          static_cast<int>(std::ceil(demand / class_cap[c]));
+      const int take = std::min(counts[c], need);
+      k += take;
+      demand -= static_cast<double>(take) * class_cap[c];
+    }
+    // Demand beyond the whole fleet: the bound degenerates to "use
+    // everything" (the plan is infeasible regardless).
+    return demand > 0.0 ? total_count : k;
+  };
+
+  std::vector<double> cpu_cap(num_classes), ram_cap(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    cpu_cap[c] = acct.CapacityOfClass(c).cpu_cores;
+    ram_cap[c] = acct.CapacityOfClass(c).ram_bytes;
+  }
+  int k = std::max(1, std::max(fill_linear(demand.peak_cpu, cpu_cap),
+                               fill_linear(demand.peak_ram, ram_cap)));
   if (acct.AnyDiskActive()) {
-    const double peak_rate = PeakOf(rate);
-    while (k < num_slots) {
-      const double cap_per_server =
-          acct.BestUsableDiskCapacity(ws / static_cast<double>(k));
-      if (peak_rate <= cap_per_server * static_cast<double>(k)) break;
+    while (k < std::min(num_slots, total_count)) {
+      // Best total sustainable rate k servers offer with the working set
+      // spread evenly, best disk classes first (an inactive axis sustains
+      // any rate, so one such server settles the axis).
+      const double ws_per = demand.ws / static_cast<double>(k);
+      std::vector<double> disk_cap(num_classes);
+      for (int c = 0; c < num_classes; ++c) {
+        disk_cap[c] = acct.Disk(c).UsableCapacity(ws_per);
+      }
+      std::vector<int> order(num_classes);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return disk_cap[a] > disk_cap[b];
+      });
+      double remaining = demand.peak_rate;
+      int left = k;
+      for (int c : order) {
+        if (left <= 0 || remaining <= 0.0) break;
+        if (counts[c] <= 0) continue;
+        const int take = std::min(left, counts[c]);
+        remaining -= disk_cap[c] * static_cast<double>(take);
+        left -= take;
+      }
+      if (remaining <= 0.0) break;
       ++k;
     }
   }

@@ -14,6 +14,8 @@
 
 namespace kairos::core {
 
+class LoadAccountant;
+
 /// The resource a single-resource packer considers.
 enum class Resource { kCpu, kRam, kDisk };
 
@@ -42,8 +44,23 @@ GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers
 /// fits ALL resources; opens servers as needed up to `max_servers`, then
 /// falls back to the least-loaded server (possibly violating). Always
 /// returns a complete assignment; `*feasible` reports constraint cleanness.
+/// A non-null `allowed_servers` restricts the packing to that subset of the
+/// index space (the cost-based dimensioner's budget-selected multiset);
+/// null keeps the classic whole-fleet packing.
 Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
-                               bool* feasible);
+                               bool* feasible,
+                               const std::vector<int>* allowed_servers = nullptr);
+
+/// Capacity-per-cost ("dense") open order over the accountant's placable
+/// servers: most combined normalized capacity per unit of cost weight
+/// first. When any class carries an active disk axis, the per-class
+/// headroomed sustainable update rate at zero working set joins the
+/// CPU/RAM terms (so a RAID class ranks as dense as its disk actually is;
+/// a class with no disk limit counts as matching the best disk); fleets
+/// with no disk models score bit-identically to the CPU/RAM-only order.
+/// Shared by the greedy packers and core::FleetDimensioner's purchase
+/// order.
+std::vector<int> DenseServerOrder(const LoadAccountant& acct);
 
 /// Idealized fractional lower bound on the server count: workloads are
 /// divisible and resources independent.

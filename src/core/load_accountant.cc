@@ -99,6 +99,29 @@ void LoadAccountant::Clear() {
   std::fill(server_count_.begin(), server_count_.end(), 0);
 }
 
+LoadAccountant::AggregateDemand LoadAccountant::TotalDemand() const {
+  AggregateDemand agg;
+  std::vector<double> cpu(num_samples_, 0.0), ram(num_samples_, 0.0),
+      rate(num_samples_, 0.0);
+  for (int s = 0; s < num_slots_; ++s) {
+    const double* s_cpu = SlotSeries(Axis::kCpu, s);
+    const double* s_ram = SlotSeries(Axis::kRam, s);
+    const double* s_rate = SlotSeries(Axis::kRate, s);
+    for (int t = 0; t < num_samples_; ++t) {
+      cpu[t] += s_cpu[t];
+      ram[t] += s_ram[t];
+      rate[t] += s_rate[t];
+    }
+    agg.ws += slot_ws_[s];
+  }
+  for (int t = 0; t < num_samples_; ++t) {
+    agg.peak_cpu = std::max(agg.peak_cpu, cpu[t]);
+    agg.peak_ram = std::max(agg.peak_ram, ram[t]);
+    agg.peak_rate = std::max(agg.peak_rate, rate[t]);
+  }
+  return agg;
+}
+
 sim::EffectiveCapacity LoadAccountant::BestClass() const {
   sim::EffectiveCapacity best;
   for (const auto& c : class_caps_) {
@@ -131,6 +154,12 @@ double LoadAccountant::BestUsableDiskCapacity(double ws) const {
     if (disk.active()) cap = std::max(cap, disk.UsableCapacity(ws));
   }
   return cap;
+}
+
+double LoadAccountant::SubsetWeight(const std::vector<int>& servers) const {
+  double weight = 0.0;
+  for (int j : servers) weight += class_weight_[class_of_[j]];
+  return weight;
 }
 
 double LoadAccountant::PrefixWeight(int k) const {

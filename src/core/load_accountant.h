@@ -99,6 +99,18 @@ class LoadAccountant {
     return class_disk_[c];  // unreachable
   }
 
+  /// Peak aggregate demand per axis (all slots summed per sample) plus the
+  /// total working set — the fractional "the fleet together must cover
+  /// this" figure shared by FractionalLowerBound and the cost-based
+  /// dimensioner's coverage checks.
+  struct AggregateDemand {
+    double peak_cpu = 0;
+    double peak_ram = 0;
+    double peak_rate = 0;
+    double ws = 0;
+  };
+  AggregateDemand TotalDemand() const;
+
   /// Largest headroomed linear capacities across classes (the reference
   /// machine for difficulty ordering and the fractional bound).
   sim::EffectiveCapacity BestClass() const;
@@ -117,6 +129,13 @@ class LoadAccountant {
   /// Sum of the class cost weights of the placable (non-drained) servers in
   /// [0, k): the engine's probe feasibility threshold is built on this.
   double PrefixWeight(int k) const;
+
+  /// Sum of the class cost weights of an explicit server subset — the
+  /// cost-budget probe's analogue of PrefixWeight. Every member counts:
+  /// the subset is what the probe bought, which may include a pinned
+  /// server on a drained class alongside the drain-filtered purchase
+  /// order.
+  double SubsetWeight(const std::vector<int>& servers) const;
 
   /// Non-drained servers in [0, num_servers): the hard placement mask.
   const std::vector<int>& PlacableServers() const { return placable_; }

@@ -145,6 +145,18 @@ std::vector<int> FleetSpec::ClassOfServers(int num_servers) const {
   return class_of;
 }
 
+std::vector<int> FleetSpec::ClassCounts(int num_servers) const {
+  std::vector<int> counts(num_classes(), 0);
+  for (int c : ClassOfServers(num_servers)) ++counts[c];
+  return counts;
+}
+
+double FleetSpec::CostOfServers(const std::vector<int>& servers) const {
+  double cost = 0.0;
+  for (int j : servers) cost += classes[ClassOf(j)].cost_weight;
+  return cost;
+}
+
 std::string FleetSpec::Render() const {
   std::ostringstream out;
   for (size_t i = 0; i < classes.size(); ++i) {

@@ -147,6 +147,15 @@ struct FleetSpec {
   /// Class index per server for servers [0, num_servers).
   std::vector<int> ClassOfServers(int num_servers) const;
 
+  /// Servers of each class within [0, num_servers), indexed like `classes`
+  /// (an unbounded class absorbs every index past the bounded prefix). The
+  /// per-class availability the cost-based dimensioner budgets against.
+  std::vector<int> ClassCounts(int num_servers) const;
+
+  /// Sum of the class cost weights of `servers` — the fleet cost of buying
+  /// exactly that multiset.
+  double CostOfServers(const std::vector<int>& servers) const;
+
   /// Human-readable summary ("6x server1 w=0.55 + 4x target12c96g w=1").
   std::string Render() const;
 };

@@ -59,6 +59,7 @@ core::ConsolidationPlan EngineSolver::Solve(
   options.direct_evaluations = budget.direct_evaluations;
   options.probe_direct_evaluations = budget.probe_direct_evaluations;
   options.local_search_max_sweeps = budget.local_search_max_sweeps;
+  options.dimensioning = budget.dimensioning;
   if (incumbent) {
     const std::string source = name();
     options.on_incumbent = [incumbent, source](const core::Assignment& a,

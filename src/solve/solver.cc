@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/dimensioner.h"
 #include "core/evaluator.h"
 #include "core/greedy.h"
 #include "solve/adapters.h"
@@ -51,14 +52,31 @@ bool ValidSeedAssignment(const core::ConsolidationProblem& problem, int cap,
 core::Assignment StartAssignment(const core::ConsolidationProblem& problem,
                                  int cap, const SolveBudget& budget) {
   bool clean = false;
-  core::Assignment greedy = core::GreedyMultiResource(problem, cap, &clean);
-  if (!ValidSeedAssignment(problem, cap, budget.seed_assignment)) return greedy;
+  core::Assignment start = core::GreedyMultiResource(problem, cap, &clean);
+  const bool dim_seed =
+      budget.dimensioning == core::DimensioningMode::kCostBudget &&
+      !problem.fleet.Uniform();
+  const bool warm = ValidSeedAssignment(problem, cap, budget.seed_assignment);
+  if (!dim_seed && !warm) return start;
   core::Evaluator ev(problem, cap);
-  if (ev.Evaluate(budget.seed_assignment) <=
-      ev.Evaluate(greedy.server_of_slot)) {
-    greedy.server_of_slot = budget.seed_assignment;
+  double start_cost = ev.Evaluate(start.server_of_slot);
+  if (dim_seed) {
+    // Cost-based dimensioning's cheap seed: the coverage-prefix packing
+    // over the dense purchase order. Warm-starts the metaheuristics toward
+    // cheap-dense class mixes they otherwise only reach via cross-class
+    // moves. Uniform fleets skip it, keeping the classic stream untouched.
+    const core::Assignment dense_seed =
+        core::FleetDimensioner::GreedySeed(problem, cap);
+    const double dense_cost = ev.Evaluate(dense_seed.server_of_slot);
+    if (dense_cost < start_cost) {
+      start = dense_seed;
+      start_cost = dense_cost;
+    }
   }
-  return greedy;
+  if (warm && ev.Evaluate(budget.seed_assignment) <= start_cost) {
+    start.server_of_slot = budget.seed_assignment;
+  }
+  return start;
 }
 
 SolverRegistry& SolverRegistry::Global() {

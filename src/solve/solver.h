@@ -34,6 +34,12 @@ struct SolveBudget {
   int probe_direct_evaluations = 800;
   /// Local-search sweep cap for the engine adapter.
   int local_search_max_sweeps = 60;
+  /// How the engine adapter dimensions heterogeneous fleets, and whether
+  /// the metaheuristics may warm-start from the cost-based dimensioner's
+  /// dense-prefix seed. kCountPrefix forces the legacy count search
+  /// everywhere; the default cost-budget mode only engages on non-uniform
+  /// fleets (uniform fleets stay bit-identical either way).
+  core::DimensioningMode dimensioning = core::DimensioningMode::kCostBudget;
   /// Warm-start seed (one server index per slot, all within [0, HardCap)).
   /// When valid, the metaheuristics and the "polish" solver start from it
   /// instead of the greedy packing whenever it scores no worse; empty means
