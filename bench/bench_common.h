@@ -2,12 +2,16 @@
 #ifndef KAIROS_BENCH_BENCH_COMMON_H_
 #define KAIROS_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "model/analytic.h"
 #include "model/disk_model.h"
+#include "obs/export.h"
+#include "obs/sink.h"
 #include "sim/machine.h"
 
 namespace kairos::bench {
@@ -24,6 +28,53 @@ inline bool SmokeMode(int argc, char** argv) {
   }
   return false;
 }
+
+/// Value of `--metrics-out=<path>` anywhere on the command line (empty when
+/// absent): where the bench writes its obs::Sink JSON export. Like
+/// SmokeMode, parsed identically by every bench binary.
+inline std::string MetricsOutPath(int argc, char** argv) {
+  constexpr const char kFlag[] = "--metrics-out=";
+  constexpr size_t kFlagLen = sizeof(kFlag) - 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      return std::string(argv[i] + kFlagLen);
+    }
+  }
+  return std::string();
+}
+
+/// Writes `sink`'s JSON export to `path` (no-op on an empty path). Status
+/// goes to stderr so bench stdout transcripts stay byte-identical with the
+/// flag on or off.
+inline void WriteMetrics(const obs::Sink& sink, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "metrics-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  obs::ExportJson(sink, out);
+  std::fprintf(stderr, "metrics-out: wrote %s\n", path.c_str());
+}
+
+/// Wall-clock section timer (steady clock) — the shared replacement for the
+/// ad-hoc per-bench Now()/duration boilerplate.
+class ScopedTimer {
+ public:
+  ScopedTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Disk model for the 12-core / 96 GB consolidation target (analytic
 /// profile over the RAID array; see DESIGN.md for the substitution note).

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/sink.h"
 #include "online/controller.h"
 #include "online/migration.h"
 #include "online/telemetry.h"
@@ -30,6 +31,10 @@
 using namespace kairos;
 
 namespace {
+
+/// Non-null when --metrics-out is set: every section's solves feed the one
+/// sink (all output goes to the JSON file; stdout stays byte-identical).
+obs::Sink* g_sink = nullptr;
 
 struct MixResult {
   core::ConsolidationPlan plan;
@@ -59,6 +64,7 @@ MixResult SolveMix(const trace::FleetScenario& scenario, int strong_count,
 
   solve::PortfolioOptions options;
   options.budget = budget;
+  options.budget.sink = g_sink;
   const solve::PortfolioResult result =
       solve::PortfolioRunner(options).Run(problem, MakeSpecs(bench::kSeed));
   return {result.best, result.winner};
@@ -131,6 +137,7 @@ void RaidVsSpindle(int steps, const solve::SolveBudget& budget) {
 
   solve::PortfolioOptions options;
   options.budget = budget;
+  options.budget.sink = g_sink;
   const solve::PortfolioResult result =
       solve::PortfolioRunner(options).Run(problem, MakeSpecs(bench::kSeed));
 
@@ -216,6 +223,9 @@ void DimensioningComparison(const std::vector<trace::FleetScenarioKind>& kinds,
       options.probe_direct_evaluations = budget.probe_direct_evaluations;
       options.local_search_max_sweeps = budget.local_search_max_sweeps;
       options.dimensioning = mode;
+      options.sink = g_sink;
+      options.obs_label =
+          mode == core::DimensioningMode::kCostBudget ? "dim-cost" : "dim-prefix";
       const core::ConsolidationPlan plan =
           core::ConsolidationEngine(problem, options).Solve();
       std::string mix = "-";
@@ -261,6 +271,7 @@ void GenerationUpgradeDrain(int steps) {
   controller_config.base.workloads = scenario.profiles;
   controller_config.base.fleet = scenario.fleet;
   controller_config.seed = bench::kSeed;
+  controller_config.sink = g_sink;
   online::ConsolidationController controller(controller_config);
 
   online::ReplayFeed feed = online::ReplayFeed::FromProfiles(scenario.profiles);
@@ -297,6 +308,10 @@ void GenerationUpgradeDrain(int steps) {
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
   const int steps = smoke ? 24 : 96;
+  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
+  obs::Sink sink;
+  if (!metrics_path.empty()) g_sink = &sink;
+  const bench::ScopedTimer bench_timer;
 
   solve::SolveBudget budget;
   budget.max_iterations = smoke ? 12000 : 30000;
@@ -319,5 +334,10 @@ int main(int argc, char** argv) {
 
   bench::Banner("generation-upgrade drain (online controller)");
   GenerationUpgradeDrain(smoke ? 32 : 64);
+
+  if (g_sink != nullptr) {
+    g_sink->metrics().gauge("bench.total_seconds")->Set(bench_timer.Seconds());
+  }
+  bench::WriteMetrics(sink, metrics_path);
   return 0;
 }

@@ -5,10 +5,12 @@
 // work) and of the consolidation engine's inner loops.
 #include <benchmark/benchmark.h>
 
+#include "core/engine.h"
 #include "core/evaluator.h"
 #include "db/buffer_pool.h"
 #include "db/flusher.h"
 #include "model/analytic.h"
+#include "obs/sink.h"
 #include "opt/direct.h"
 #include "sim/disk.h"
 #include "util/rng.h"
@@ -162,6 +164,54 @@ void BM_EvaluatorApplyMove(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EvaluatorApplyMove);
+
+// --- Observability substrate: the null-sink branch and the attached-sink
+// --- write path must both be negligible next to a DIRECT probe (the
+// --- granularity the engine instruments at).
+
+void BM_RegistryCounter(benchmark::State& state) {
+  obs::Sink sink;
+  obs::Counter* c = sink.metrics().counter("bench.counter");
+  for (auto _ : state) {
+    c->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounter);
+
+void BM_TraceSinkEmit(benchmark::State& state) {
+  obs::Sink sink;
+  const uint32_t track = sink.trace().InternTrack("bench");
+  const uint32_t name = sink.trace().InternName("event");
+  int64_t i = 0;
+  for (auto _ : state) {
+    sink.trace().Emit(track, name, obs::EventKind::kPoint, i++, 1, 0.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSinkEmit);
+
+/// The engine probe loop with a null vs attached sink: ProbeK carries the
+/// instrumented branch, so the two arms bound the observer's overhead at
+/// probe granularity (expected: indistinguishable — a DIRECT probe costs
+/// orders of magnitude more than a ring write).
+void BM_EngineProbeLoop(benchmark::State& state) {
+  const bool attached = state.range(0) != 0;
+  const auto prob = MakeProblem(32, 64);
+  obs::Sink sink;
+  core::EngineOptions options;
+  options.probe_direct_evaluations = 60;
+  options.sink = attached ? &sink : nullptr;
+  core::ConsolidationEngine engine(prob, options);
+  const int k = std::max(2, 32 / 4);
+  for (auto _ : state) {
+    core::Assignment out;
+    benchmark::DoNotOptimize(engine.ProbeK(k, 60, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(attached ? "sink=attached" : "sink=null");
+}
+BENCHMARK(BM_EngineProbeLoop)->Arg(0)->Arg(1);
 
 void BM_DirectSphere(benchmark::State& state) {
   const int dims = static_cast<int>(state.range(0));

@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "core/evaluator.h"
+#include "obs/sink.h"
 #include "online/controller.h"
 #include "trace/scenario.h"
 #include "util/table.h"
@@ -21,6 +22,11 @@
 using namespace kairos;
 
 namespace {
+
+/// Non-null when --metrics-out is set: every scenario's controller feeds
+/// the one sink (tracks distinguish solvers; the "controller" track
+/// accumulates all stage timelines in run order).
+obs::Sink* g_sink = nullptr;
 
 struct SweepResult {
   int steps = 0;
@@ -45,11 +51,13 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
   config.num_servers = 4;
   config.migration_aware = migration_aware;
   config.seed = bench::kSeed;
+  config.sink = g_sink;
   online::ConsolidationController controller(config);
 
   online::ReplayFeed feed = online::ReplayFeed::FromProfiles(scenario.profiles);
   std::vector<online::TelemetrySample> samples;
   SweepResult result;
+  const bench::ScopedTimer scenario_timer;
   while (feed.Next(&samples)) {
     if (result.steps == scenario.drain_step) controller.DrainHighestServer();
     controller.Ingest(samples);
@@ -65,6 +73,12 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
   result.final_servers =
       core::Assignment{controller.assignment()}.ServersUsed();
   result.final_service_objective = controller.CurrentServiceObjective();
+  if (g_sink != nullptr) {
+    g_sink->metrics()
+        .gauge("bench.scenario_seconds." + trace::ScenarioName(kind) +
+               (migration_aware ? ".aware" : ".cold"))
+        ->Set(scenario_timer.Seconds());
+  }
   return result;
 }
 
@@ -73,6 +87,9 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
   const int steps = smoke ? 64 : 288;
+  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
+  obs::Sink sink;
+  if (!metrics_path.empty()) g_sink = &sink;
 
   bench::Banner("online controller scenario sweep (" +
                 std::to_string(steps) + " steps, migration-aware vs cold)");
@@ -104,5 +121,7 @@ int main(int argc, char** argv) {
       diurnal_moves[0], diurnal_moves[1],
       diurnal_moves[0] > 0 ? diurnal_moves[1] / diurnal_moves[0] : 0.0,
       diurnal_objective[0], diurnal_objective[1]);
+
+  bench::WriteMetrics(sink, metrics_path);
   return 0;
 }

@@ -11,28 +11,22 @@
 // the single engine on the same problems: the portfolio should match or
 // beat the engine's objective, and adding threads should cut wall-clock
 // versus running the same solvers sequentially.
-#include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "obs/sink.h"
 #include "solve/portfolio.h"
 #include "trace/dataset.h"
 #include "util/table.h"
 
-namespace {
-
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace kairos;
+  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
+  obs::Sink sink;
+  obs::Sink* const sink_ptr = metrics_path.empty() ? nullptr : &sink;
+
   bench::Banner("Solver performance: bounded-K binary search vs. full space");
 
   const model::DiskModel disk_model = bench::TargetDiskModel();
@@ -47,9 +41,11 @@ int main() {
     prob.disk_model = &disk_model;
 
     core::EngineOptions bounded;
-    const double t0 = Now();
+    bounded.sink = sink_ptr;
+    bounded.obs_label = "bounded";
+    const bench::ScopedTimer bounded_timer;
     const auto plan_bounded = core::ConsolidationEngine(prob, bounded).Solve();
-    const double bounded_s = Now() - t0;
+    const double bounded_s = bounded_timer.Seconds();
 
     core::EngineOptions full;
     full.use_bounded_k = false;
@@ -57,9 +53,11 @@ int main() {
     // its space is max_servers = N, so it needs far more work per step.
     full.direct_evaluations = 20000;
     full.local_search_max_sweeps = 200;
-    const double t1 = Now();
+    full.sink = sink_ptr;
+    full.obs_label = "full-space";
+    const bench::ScopedTimer full_timer;
     const auto plan_full = core::ConsolidationEngine(prob, full).Solve();
-    const double full_s = Now() - t1;
+    const double full_s = full_timer.Seconds();
 
     table.AddRow({trace::DatasetName(kind), std::to_string(traces.size()),
                   util::FormatDouble(bounded_s, 2),
@@ -87,10 +85,12 @@ int main() {
     prob.workloads = trace::ToProfiles(traces);
     prob.disk_model = &disk_model;
 
-    const double t0 = Now();
+    core::EngineOptions engine_options;
+    engine_options.sink = sink_ptr;
+    const bench::ScopedTimer engine_timer;
     const auto engine_plan =
-        core::ConsolidationEngine(prob, core::EngineOptions{}).Solve();
-    const double engine_s = Now() - t0;
+        core::ConsolidationEngine(prob, engine_options).Solve();
+    const double engine_s = engine_timer.Seconds();
 
     const auto specs = solve::PortfolioRunner::DefaultSpecs(bench::kSeed);
     double seconds[3] = {0, 0, 0};
@@ -99,6 +99,7 @@ int main() {
     for (int i = 0; i < 3; ++i) {
       solve::PortfolioOptions options;
       options.threads = thread_counts[i];
+      options.budget.sink = sink_ptr;
       const auto r = solve::PortfolioRunner(options).Run(prob, specs);
       seconds[i] = r.wall_seconds;
       result = r;  // same specs + seeds -> same plans at every thread count
@@ -119,5 +120,7 @@ int main() {
               "the 1-thread (sequential) wall-clock. Detected hardware "
               "threads: %u (speedups flatten to ~1x on a single core).\n",
               std::thread::hardware_concurrency());
+
+  bench::WriteMetrics(sink, metrics_path);
   return 0;
 }

@@ -174,6 +174,16 @@ DimensioningResult FleetDimensioner::Run(
   const std::vector<int>* best_order = nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
 
+  // Trace ids for the budget bisection (one branch when no sink attached).
+  uint32_t obs_track = 0, obs_probe = 0, obs_improve = 0;
+  if (options_.sink != nullptr) {
+    obs::TraceSink& trace = options_.sink->trace();
+    obs_track = trace.InternTrack("dimensioner/" +
+                                  std::to_string(options_.seed));
+    obs_probe = trace.InternName("budget_probe");
+    obs_improve = trace.InternName("dim_improve");
+  }
+
   for (const std::vector<int>& order : orders) {
     if (stop()) break;
     const int n = static_cast<int>(order.size());
@@ -209,14 +219,27 @@ DimensioningResult FleetDimensioner::Run(
 
     const auto probe = [&](int m, Assignment* out) {
       ++result.budget_probes;
-      return engine_.ProbeServers(SubsetOf(order, m),
-                                  options_.probe_direct_evaluations, out);
+      const bool ok = engine_.ProbeServers(SubsetOf(order, m),
+                                           options_.probe_direct_evaluations,
+                                           out);
+      if (options_.sink != nullptr) {
+        options_.sink->trace().Emit(obs_track, obs_probe,
+                                    obs::EventKind::kPoint, /*i0=*/m,
+                                    /*i1=*/ok ? 1 : 0, /*d0=*/prefix_cost[m]);
+        options_.sink->metrics().counter("dimensioner.budget_probes")->Add(1);
+      }
+      return ok;
     };
     const auto improve = [&](const Assignment& a, int m) {
       best = a;
       best_m = m;
       best_order = &order;
       best_cost = prefix_cost[m];
+      if (options_.sink != nullptr) {
+        options_.sink->trace().Emit(obs_track, obs_improve,
+                                    obs::EventKind::kPoint, /*i0=*/m,
+                                    /*i1=*/1, /*d0=*/best_cost);
+      }
       if (on_improve) on_improve(best);
     };
 

@@ -18,6 +18,57 @@ ConsolidationEngine::ConsolidationEngine(const ConsolidationProblem& problem,
                                          const EngineOptions& options)
     : problem_(problem), options_(options) {}
 
+uint32_t ConsolidationEngine::ObsTrack() {
+  if (obs_track_ == kNoObsTrack) {
+    obs_track_ = options_.sink->trace().InternTrack(
+        options_.obs_label + "/" + std::to_string(options_.seed));
+  }
+  return obs_track_;
+}
+
+void ConsolidationEngine::EmitIncumbent(double objective, bool feasible) {
+  if (options_.sink == nullptr) return;
+  obs::TraceSink& trace = options_.sink->trace();
+  trace.Emit(ObsTrack(), trace.InternName("incumbent"), obs::EventKind::kPoint,
+             /*i0=*/evaluations_, /*i1=*/feasible ? 1 : 0, /*d0=*/objective);
+}
+
+bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
+  ++probe_attempts_;
+  const int evals_before = evaluations_;
+  const bool feasible = ProbeKImpl(k, direct_budget, out);
+  if (options_.sink != nullptr) {
+    obs::TraceSink& trace = options_.sink->trace();
+    trace.Emit(ObsTrack(), trace.InternName("probe"), obs::EventKind::kPoint,
+               /*i0=*/k, /*i1=*/feasible ? 1 : 0,
+               /*d0=*/static_cast<double>(evaluations_ - evals_before));
+    options_.sink->metrics().counter("engine.probes")->Add(1);
+    if (feasible) {
+      options_.sink->metrics().counter("engine.probes_feasible")->Add(1);
+    }
+  }
+  return feasible;
+}
+
+bool ConsolidationEngine::ProbeServers(const std::vector<int>& servers,
+                                       int direct_budget, Assignment* out) {
+  ++probe_attempts_;
+  const int evals_before = evaluations_;
+  const bool feasible = ProbeServersImpl(servers, direct_budget, out);
+  if (options_.sink != nullptr) {
+    obs::TraceSink& trace = options_.sink->trace();
+    trace.Emit(ObsTrack(), trace.InternName("probe"), obs::EventKind::kPoint,
+               /*i0=*/static_cast<int64_t>(servers.size()),
+               /*i1=*/feasible ? 1 : 0,
+               /*d0=*/static_cast<double>(evaluations_ - evals_before));
+    options_.sink->metrics().counter("engine.probes")->Add(1);
+    if (feasible) {
+      options_.sink->metrics().counter("engine.probes_feasible")->Add(1);
+    }
+  }
+  return feasible;
+}
+
 Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k,
                                             const std::vector<int>* targets) const {
   // With drained classes the DIRECT encoding covers placable servers only
@@ -143,7 +194,7 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
   }
 }
 
-bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
+bool ConsolidationEngine::ProbeKImpl(int k, int direct_budget, Assignment* out) {
   if (k < 1) return false;
   if (options_.should_stop && options_.should_stop()) return false;
   util::Rng rng(options_.seed ^ (0x9E37ULL * static_cast<uint64_t>(k)));
@@ -196,8 +247,8 @@ bool ConsolidationEngine::ProbeK(int k, int direct_budget, Assignment* out) {
   return false;
 }
 
-bool ConsolidationEngine::ProbeServers(const std::vector<int>& servers,
-                                       int direct_budget, Assignment* out) {
+bool ConsolidationEngine::ProbeServersImpl(const std::vector<int>& servers,
+                                           int direct_budget, Assignment* out) {
   if (servers.empty()) return false;
   if (options_.should_stop && options_.should_stop()) return false;
   const int k = problem_.ServerCap();
@@ -245,6 +296,11 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   const auto start = std::chrono::steady_clock::now();
   ConsolidationPlan plan;
   evaluations_ = 0;
+  probe_attempts_ = 0;
+  obs::ScopedSpan solve_span(options_.sink,
+                             options_.obs_label + "/" +
+                                 std::to_string(options_.seed),
+                             "solve");
 
   const int num_slots = problem_.TotalSlots();
   if (num_slots == 0) return plan;
@@ -268,10 +324,13 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   bool polished_multi_greedy_fallback = false;
 
   const auto broadcast = [this](const Assignment& a, int k) {
-    if (!options_.on_incumbent) return;
+    if (!options_.on_incumbent && options_.sink == nullptr) return;
     Evaluator ev(problem_, k);
     ev.Load(a.server_of_slot);
-    options_.on_incumbent(a, ev.current_cost(), ev.IsFeasible());
+    EmitIncumbent(ev.current_cost(), ev.IsFeasible());
+    if (options_.on_incumbent) {
+      options_.on_incumbent(a, ev.current_cost(), ev.IsFeasible());
+    }
   };
   const auto stop_requested = [this] {
     return options_.should_stop && options_.should_stop();
@@ -399,6 +458,7 @@ ConsolidationPlan ConsolidationEngine::Solve() {
   }
 
   plan.solver_evaluations = evaluations_;
+  plan.probe_attempts = probe_attempts_;
   plan.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return plan;
@@ -410,6 +470,7 @@ ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, i
   // incumbent as-is so the portfolio can join quickly.
   if (options_.should_stop && options_.should_stop()) {
     ConsolidationPlan plan = FinalizePlan(problem_, incumbent.server_of_slot, k);
+    EmitIncumbent(plan.objective, plan.feasible);
     if (options_.on_incumbent) {
       options_.on_incumbent(plan.assignment, plan.objective, plan.feasible);
     }
@@ -442,6 +503,8 @@ ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, i
   }
 
   ConsolidationPlan plan = FinalizePlan(problem_, best_assign, k);
+  plan.probe_attempts = probe_attempts_;
+  EmitIncumbent(plan.objective, plan.feasible);
   if (options_.on_incumbent) {
     options_.on_incumbent(plan.assignment, plan.objective, plan.feasible);
   }
@@ -490,7 +553,18 @@ std::string ConsolidationPlan::Render() const {
              consolidation_ratio, 1)
       << ":1, fractional bound " << fractional_lower_bound << ", greedy "
       << (greedy_servers >= 0 ? std::to_string(greedy_servers) : std::string("n/a"))
-      << "), solve " << util::FormatDouble(solve_seconds, 2) << "s\n";
+      << "), solve " << util::FormatDouble(solve_seconds, 2) << "s";
+  if (probe_attempts > 0) {
+    out << ", probes " << probe_attempts;
+    if (solve_seconds > 0) {
+      out << " ("
+          << util::FormatDouble(static_cast<double>(probe_attempts) /
+                                    solve_seconds,
+                                1)
+          << "/s)";
+    }
+  }
+  out << "\n";
   if (class_servers_used.size() > 1) {
     out << "fleet cost " << util::FormatDouble(fleet_cost, 2) << ":";
     for (size_t c = 0; c < class_servers_used.size(); ++c) {

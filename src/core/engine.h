@@ -14,6 +14,7 @@
 #include "core/evaluator.h"
 #include "core/greedy.h"
 #include "core/problem.h"
+#include "obs/sink.h"
 #include "util/rng.h"
 
 namespace kairos::core {
@@ -61,6 +62,18 @@ struct EngineOptions {
   /// Polled between probe/polish phases; returning true aborts the solve
   /// early with the best incumbent found so far. May be empty.
   std::function<bool()> should_stop;
+
+  /// Observability sink (metrics + trace), nullable. When attached the
+  /// engine records every feasibility probe ("probe"/"budget_probe"
+  /// events, probe-granular — MoveDelta stays un-instrumented) and its
+  /// incumbent improvements; when null each instrumented site costs one
+  /// predictable branch. An attached sink never perturbs the RNG streams:
+  /// results are bit-identical with the observer on or off.
+  obs::Sink* sink = nullptr;
+  /// Trace-track prefix for this engine's events (the track is
+  /// "<obs_label>/<seed>"), so wrappers like the portfolio's polish solver
+  /// stay distinguishable in one merged trace.
+  std::string obs_label = "engine";
 };
 
 /// Output of one engine run.
@@ -100,6 +113,10 @@ struct ConsolidationPlan {
   int moves_from_current = 0;
   double solve_seconds = 0;
   int solver_evaluations = 0;
+  /// Feasibility probes attempted (count-prefix ProbeK plus cost-budget
+  /// ProbeServers calls). With solve_seconds this yields the probe rate
+  /// Render() reports.
+  int probe_attempts = 0;
 
   /// Human-readable summary.
   std::string Render() const;
@@ -134,6 +151,19 @@ class ConsolidationEngine {
                                const std::vector<int>* targets = nullptr);
 
  private:
+  /// Un-instrumented probe bodies (ProbeK/ProbeServers wrap them with the
+  /// probe counter and trace emission).
+  bool ProbeKImpl(int k, int direct_budget, Assignment* out);
+  bool ProbeServersImpl(const std::vector<int>& servers, int direct_budget,
+                        Assignment* out);
+
+  /// Interned trace ids for this engine's track, lazily created on the
+  /// first instrumented event (the engine is internally single-threaded).
+  uint32_t ObsTrack();
+  /// Emits an "incumbent" point (i0 = DIRECT evaluations so far) when a
+  /// sink is attached; single branch otherwise.
+  void EmitIncumbent(double objective, bool feasible);
+
   /// First-improvement local search with an extra swap pass. A non-null
   /// `targets` restricts relocation targets and swap endpoints to that
   /// subset; null uses the fleet's placement mask (the classic scan).
@@ -153,6 +183,10 @@ class ConsolidationEngine {
   const ConsolidationProblem& problem_;
   EngineOptions options_;
   int evaluations_ = 0;
+  int probe_attempts_ = 0;
+  uint32_t obs_track_ = kNoObsTrack;
+
+  static constexpr uint32_t kNoObsTrack = 0xFFFFFFFFu;
 };
 
 /// Evaluates `assignment` at `k` servers and fills a fully reported plan

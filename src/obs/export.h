@@ -1,0 +1,46 @@
+// Exporters for the observability substrate: a machine-readable JSON dump
+// (what `--metrics-out=<path>` writes and CI validates) and a
+// human-readable text-table dump.
+//
+// The JSON document carries the raw substrate (counters, gauges,
+// histograms, the full merged trace) plus derived views keyed for the
+// analyses the ROADMAP benches need:
+//
+//   "probes"                  — every engine probe attempt (count-prefix
+//                               "probe" and cost-budget "budget_probe"
+//                               events) with size/feasibility/detail.
+//   "incumbent_curves"        — per-solver objective-vs-iteration curves
+//                               ("incumbent" events grouped by track), each
+//                               point carrying a coarse wall bucket.
+//   "controller"              — the online controller's per-stage timeline
+//                               (detect / resolve / plan / ledger) and the
+//                               "detection_to_migration_seconds" latencies.
+//
+// Wall-clock fields are machine-dependent; everything else is deterministic
+// for a deterministic workload (see trace.h).
+#ifndef KAIROS_OBS_EXPORT_H_
+#define KAIROS_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/sink.h"
+
+namespace kairos::obs {
+
+/// Wall-bucket width for incumbent-curve points: wall_bucket =
+/// floor(wall_seconds / kWallBucketSeconds).
+inline constexpr double kWallBucketSeconds = 0.01;
+
+/// Writes the full JSON document described above.
+void ExportJson(const Sink& sink, std::ostream& os);
+
+/// JSON convenience wrapper.
+std::string ExportJsonString(const Sink& sink);
+
+/// Human-readable dump: metric tables plus a per-track trace summary.
+std::string ExportText(const Sink& sink);
+
+}  // namespace kairos::obs
+
+#endif  // KAIROS_OBS_EXPORT_H_

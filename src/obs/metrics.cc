@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kairos::obs {
+
+int ThreadStripe() {
+  static std::atomic<int> next{0};
+  thread_local const int stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+uint64_t Gauge::ToBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::FromBits(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  stripes_.reserve(kStripes);
+  for (int i = 0; i < kStripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->buckets = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+void Histogram::Observe(double v) {
+  Stripe& s = *stripes_[ThreadStripe()];
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  // CAS-accumulate the double sum (observations are probe/stage-grained,
+  // so contention here is negligible).
+  uint64_t old_bits = s.sum_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    double old_sum;
+    std::memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    const double new_sum = old_sum + v;
+    uint64_t new_bits;
+    std::memcpy(&new_bits, &new_sum, sizeof(new_bits));
+    if (s.sum_bits.compare_exchange_weak(old_bits, new_bits,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += s->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& s : stripes_) {
+    total += s->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double sum = 0;
+  for (const auto& s : stripes_) {
+    const uint64_t bits = s->sum_bits.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    sum += v;
+  }
+  return sum;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  // std::map iterates in key order, so every section is sorted by name.
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->Value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->Value());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hist;
+    hist.name = name;
+    hist.bounds = h->bounds();
+    hist.counts = h->BucketCounts();
+    hist.total = h->TotalCount();
+    hist.sum = h->Sum();
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+}  // namespace kairos::obs

@@ -1,0 +1,131 @@
+// obs::Registry — named counters, gauges, and fixed-bucket histograms for
+// the solver/controller observability substrate. Designed for two
+// properties the rest of the stack depends on:
+//
+//   1. Zero contention on the write path: counters and histogram buckets
+//      are striped across cache-line-padded per-thread slots (a thread is
+//      assigned a stripe once, round-robin), so portfolio workers never
+//      bounce a shared line. Snapshot() sums the stripes.
+//   2. Deterministic snapshots: metrics are keyed by name in a sorted map,
+//      so Snapshot() always lists them in sorted-name order, and counters
+//      fed by deterministic work (probe counts, incumbent improvements)
+//      report identical values regardless of portfolio thread count.
+//
+// Registration (the first counter()/gauge()/histogram() call for a name)
+// takes a mutex; instrumented hot paths should hoist the returned pointer
+// out of their loops. Updates through the returned handles are lock-free.
+#ifndef KAIROS_OBS_METRICS_H_
+#define KAIROS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kairos::obs {
+
+/// Write-path stripes per metric. A power of two; threads are assigned
+/// stripes round-robin, so up to kStripes writers proceed without sharing
+/// a cache line.
+inline constexpr int kStripes = 16;
+
+/// The calling thread's stripe index (assigned once per thread,
+/// round-robin over kStripes).
+int ThreadStripe();
+
+/// Monotonic counter. Add() is a relaxed fetch_add on the caller's stripe;
+/// Value() sums the stripes (exact once writers quiesce).
+class Counter {
+ public:
+  void Add(int64_t v = 1) {
+    stripes_[ThreadStripe()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const Stripe& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// Last-writer-wins double value (bench section timings, config echoes).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(ToBits(v), std::memory_order_relaxed); }
+  double Value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t ToBits(double v);
+  static double FromBits(uint64_t b);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// last implicit bucket counts the overflow. Bounds are fixed at creation;
+/// bucket counts and the sum are striped like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  int64_t TotalCount() const;
+  double Sum() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::vector<std::atomic<int64_t>> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // double, CAS-accumulated
+  };
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// One deterministic point-in-time view of a Registry, every section in
+/// sorted-name order.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  ///< bounds.size() + 1 entries (overflow last).
+    int64_t total = 0;
+    double sum = 0;
+  };
+  std::vector<Hist> histograms;
+};
+
+/// Name-keyed metric registry. Get-or-create handles are stable for the
+/// registry's lifetime; updates through them never touch the registry lock.
+class Registry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` must be ascending; only the first call's bounds stick.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace kairos::obs
+
+#endif  // KAIROS_OBS_METRICS_H_

@@ -150,13 +150,48 @@ bool ConsolidationController::DrainClass(int class_index) {
   return true;
 }
 
+void ConsolidationController::InternObsIds() {
+  if (obs_ids_ready_ || config_.sink == nullptr) return;
+  obs::TraceSink& trace = config_.sink->trace();
+  obs_track_ = trace.InternTrack("controller");
+  obs_detect_ = trace.InternName("detect");
+  obs_resolve_ = trace.InternName("resolve");
+  obs_plan_ = trace.InternName("plan");
+  obs_ledger_ = trace.InternName("ledger");
+  obs_latency_ = trace.InternName("detect_to_migrate");
+  obs_ids_ready_ = true;
+}
+
+double ConsolidationController::StageSeconds() const {
+  if (config_.sink == nullptr) return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       stage_start_)
+      .count();
+}
+
+void ConsolidationController::EmitStage(uint32_t name_id, int64_t value) {
+  if (config_.sink == nullptr) return;
+  config_.sink->trace().Emit(obs_track_, name_id, obs::EventKind::kPoint,
+                             /*i0=*/step_, /*i1=*/value,
+                             /*d0=*/StageSeconds());
+}
+
 void ConsolidationController::RunControl(const std::string& forced_reason) {
+  // The detection clock starts here: every stage point of this control step
+  // carries its offset from this instant, and detect_to_migrate is the
+  // offset at which the migration plan was ready.
+  if (config_.sink != nullptr) {
+    InternObsIds();
+    stage_start_ = std::chrono::steady_clock::now();
+  }
   core::ConsolidationProblem problem = SnapshotProblem();
   if (assignment_.empty()) {
+    EmitStage(obs_detect_, 1);
     Resolve(&problem, "bootstrap");
     return;
   }
   if (!forced_reason.empty()) {
+    EmitStage(obs_detect_, 1);
     Resolve(&problem, forced_reason);
     return;
   }
@@ -171,6 +206,7 @@ void ConsolidationController::RunControl(const std::string& forced_reason) {
   }
   const DriftDecision decision =
       drift_.Check(step_, CurrentStats(), forecast_violation);
+  EmitStage(obs_detect_, decision.resolve ? 1 : 0);
   if (decision.resolve) Resolve(&problem, decision.reason);
 }
 
@@ -180,6 +216,11 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
 
   solve::SolveBudget budget = config_.budget;
   budget.seed_assignment.clear();
+  // Forward the controller's sink to the portfolio (incumbent curves per
+  // member) unless the caller already attached one to the budget.
+  if (config_.sink != nullptr && budget.sink == nullptr) {
+    budget.sink = config_.sink;
+  }
   if (config_.migration_aware && !before.empty()) {
     problem->current_assignment = before;
     problem->migration_cost_weight = config_.migration_cost_weight;
@@ -208,6 +249,7 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
   const solve::PortfolioResult result =
       solve::PortfolioRunner(options).Run(*problem, specs);
   ++solves_;
+  EmitStage(obs_resolve_, result.winner_index);
   if (result.winner_index < 0) {
     // Only unknown solver names: no plan to adopt. Keep the incumbent, but
     // pull any stranded entries (a drained server's label) back inside the
@@ -239,6 +281,27 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
     event.moves = migration.total_moves();
     event.stages = static_cast<int>(migration.stages.size());
     event.migration_safe = migration.safe;
+  }
+  // Stage timeline: the migration plan is ready ("plan"), its spill check
+  // verdict is in ("ledger" — MigrationPlanner's CapacityLedger pass), and
+  // the detection-to-migration latency is the offset at this instant. The
+  // bootstrap placement has an empty (trivially safe) plan; it still closes
+  // the timeline so every adopted plan reports a latency.
+  EmitStage(obs_plan_, event.moves);
+  EmitStage(obs_ledger_, event.migration_safe ? 1 : 0);
+  if (config_.sink != nullptr) {
+    const double latency = StageSeconds();
+    config_.sink->trace().Emit(obs_track_, obs_latency_,
+                               obs::EventKind::kPoint, /*i0=*/step_,
+                               /*i1=*/event.moves, /*d0=*/latency);
+    config_.sink->metrics()
+        .histogram("controller.detect_to_migrate_seconds",
+                   {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0})
+        ->Observe(latency);
+    config_.sink->metrics().counter("controller.resolves")->Add(1);
+    if (!event.feasible) {
+      config_.sink->metrics().counter("controller.infeasible_adoptions")->Add(1);
+    }
   }
   migration_plans_.push_back(std::move(migration));
 

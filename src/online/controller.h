@@ -18,6 +18,8 @@
 #ifndef KAIROS_ONLINE_CONTROLLER_H_
 #define KAIROS_ONLINE_CONTROLLER_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +66,16 @@ struct ControllerConfig {
   /// Portfolio threads (0 = auto). Results are thread-count independent.
   int threads = 0;
   uint64_t seed = 1;
+
+  /// Observability sink, nullable. When attached the controller records its
+  /// per-stage timeline on track "controller" — "detect" / "resolve" /
+  /// "plan" / "ledger" points per control step plus a "detect_to_migrate"
+  /// latency per adopted plan — and forwards the sink to the re-solve
+  /// portfolio (budget.sink) unless the budget already carries one. A null
+  /// sink costs one predictable branch per stage; an attached one never
+  /// touches an RNG stream, so RenderHistory() stays byte-identical with
+  /// the observer on or off.
+  obs::Sink* sink = nullptr;
 
   /// Re-solve budget sized for frequent incremental solves, not one-shot
   /// offline runs.
@@ -156,10 +168,31 @@ class ConsolidationController {
   void Resolve(core::ConsolidationProblem* problem, const std::string& reason);
   std::vector<monitor::ProfileStats> CurrentStats() const;
 
+  /// Lazily interns the controller's trace ids (no-op without a sink).
+  void InternObsIds();
+  /// Seconds since the current control step's detection clock started
+  /// (0 without a sink).
+  double StageSeconds() const;
+  /// Emits one stage point on track "controller": i0 = step, i1 = `value`,
+  /// d0 = StageSeconds() — the stage's offset in the detection-to-migration
+  /// timeline. One branch when no sink is attached.
+  void EmitStage(uint32_t name_id, int64_t value);
+
   ControllerConfig config_;
   StreamingProfileBuilder builder_;
   DriftDetector drift_;
   MigrationPlanner planner_;
+
+  // Controller trace ids (single control thread: the "controller" track has
+  // one writer by construction).
+  bool obs_ids_ready_ = false;
+  uint32_t obs_track_ = 0;
+  uint32_t obs_detect_ = 0;
+  uint32_t obs_resolve_ = 0;
+  uint32_t obs_plan_ = 0;
+  uint32_t obs_ledger_ = 0;
+  uint32_t obs_latency_ = 0;
+  std::chrono::steady_clock::time_point stage_start_;
 
   int step_ = -1;
   int active_servers_ = 0;

@@ -27,10 +27,28 @@ core::ConsolidationPlan AnnealingSolver::Solve(
   if (incumbent) {
     incumbent->Offer(best, best_cost, best_feasible, name());
   }
+
+  // Incumbent-curve trace ids, interned once so the per-improvement cost is
+  // one branch plus a ring write (never an RNG touch).
+  obs::Sink* const sink = budget.sink;
+  uint32_t obs_track = 0, obs_incumbent = 0;
+  obs::Counter* improvements = nullptr;
+  if (sink != nullptr) {
+    obs_track =
+        sink->trace().InternTrack(name() + "/" + std::to_string(seed_));
+    obs_incumbent = sink->trace().InternName("incumbent");
+    improvements = sink->metrics().counter(name() + ".improvements");
+    // Iteration-0 point: every attached run exports a curve with >= 1 point.
+    sink->trace().Emit(obs_track, obs_incumbent, obs::EventKind::kPoint,
+                       /*i0=*/0, /*i1=*/best_feasible ? 1 : 0,
+                       /*d0=*/best_cost);
+  }
+
   if (slots < 2 || cap < 2) {
     return core::FinalizePlan(problem, best, cap);
   }
 
+  int it = 0;
   const auto record_if_best = [&] {
     const bool feasible = ev.IsFeasible();
     if ((feasible && !best_feasible) ||
@@ -38,6 +56,12 @@ core::ConsolidationPlan AnnealingSolver::Solve(
       best = ev.assignment();
       best_cost = ev.current_cost();
       best_feasible = feasible;
+      if (sink != nullptr) {
+        sink->trace().Emit(obs_track, obs_incumbent, obs::EventKind::kPoint,
+                           /*i0=*/it, /*i1=*/best_feasible ? 1 : 0,
+                           /*d0=*/best_cost);
+        improvements->Add(1);
+      }
       if (incumbent) incumbent->Offer(best, best_cost, best_feasible, name());
     }
   };
@@ -58,7 +82,7 @@ core::ConsolidationPlan AnnealingSolver::Solve(
   // server. Unmasked fleets keep the classic RNG stream bit-for-bit.
   const sim::FleetSpec::PlacementMask mask = problem.fleet.PlacementTargets(cap);
 
-  for (int it = 0; it < budget.max_iterations; ++it) {
+  for (it = 0; it < budget.max_iterations; ++it) {
     if (incumbent && it % options_.stop_poll_interval == 0 &&
         incumbent->ShouldStop()) {
       break;

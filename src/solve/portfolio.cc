@@ -50,6 +50,10 @@ PortfolioResult PortfolioRunner::Run(
   // Work queue over solver indices: T workers pop the next unstarted
   // solver. Which worker runs which solver is scheduling-dependent; the
   // result is not, because every solver is deterministic and isolated.
+  // Each member gets its own trace track ("portfolio/<i>-<solver>"), so
+  // exactly one thread ever writes it and the merged trace stays
+  // deterministic regardless of scheduling.
+  obs::Sink* const sink = options_.budget.sink;
   std::atomic<int> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -62,9 +66,13 @@ PortfolioResult PortfolioRunner::Run(
       std::unique_ptr<Solver> solver =
           SolverRegistry::Global().Create(specs[i].solver, specs[i].seed);
       if (solver) {
+        obs::ScopedSpan member_span(
+            sink, "portfolio/" + std::to_string(i) + "-" + specs[i].solver,
+            "solver", /*i0=*/i);
         member.plan = solver->Solve(problem, options_.budget, &incumbent);
       }
       member.solve_seconds = Seconds(solver_start);
+      if (sink != nullptr) sink->Count("portfolio.members_run");
     }
   };
 
@@ -92,6 +100,12 @@ PortfolioResult PortfolioRunner::Run(
   result.early_stopped = incumbent.ShouldStop();
   result.incumbent_improvements = incumbent.improvements();
   result.wall_seconds = Seconds(start);
+  if (sink != nullptr) {
+    sink->Count("portfolio.runs");
+    if (result.early_stopped) sink->Count("portfolio.early_stops");
+    sink->Count("portfolio.incumbent_improvements",
+                result.incumbent_improvements);
+  }
   return result;
 }
 

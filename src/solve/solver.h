@@ -45,6 +45,12 @@ struct SolveBudget {
   /// instead of the greedy packing whenever it scores no worse; empty means
   /// cold start. The online controller seeds this with its incumbent plan.
   std::vector<int> seed_assignment;
+  /// Observability sink shared by every portfolio member, nullable. Solvers
+  /// record incumbent-improvement curves ("incumbent" events on track
+  /// "<name>/<seed>") at iteration granularity; a null sink costs one
+  /// predictable branch per improvement and an attached one never touches
+  /// any RNG stream (plans stay bit-identical with the observer on or off).
+  obs::Sink* sink = nullptr;
 };
 
 /// Upper bound on server indices a solver may use (the problem's

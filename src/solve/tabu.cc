@@ -28,6 +28,23 @@ core::ConsolidationPlan TabuSolver::Solve(
   if (incumbent) {
     incumbent->Offer(best, best_cost, best_feasible, name());
   }
+
+  // Incumbent-curve trace ids, interned once so the per-improvement cost is
+  // one branch plus a ring write (never an RNG touch).
+  obs::Sink* const sink = budget.sink;
+  uint32_t obs_track = 0, obs_incumbent = 0;
+  obs::Counter* improvements = nullptr;
+  if (sink != nullptr) {
+    obs_track =
+        sink->trace().InternTrack(name() + "/" + std::to_string(seed_));
+    obs_incumbent = sink->trace().InternName("incumbent");
+    improvements = sink->metrics().counter(name() + ".improvements");
+    // Iteration-0 point: every attached run exports a curve with >= 1 point.
+    sink->trace().Emit(obs_track, obs_incumbent, obs::EventKind::kPoint,
+                       /*i0=*/0, /*i1=*/best_feasible ? 1 : 0,
+                       /*d0=*/best_cost);
+  }
+
   if (slots < 1 || cap < 2) {
     return core::FinalizePlan(problem, best, cap);
   }
@@ -35,6 +52,7 @@ core::ConsolidationPlan TabuSolver::Solve(
   // tabu_until[slot * cap + server] > iteration forbids moving `slot` back
   // onto `server` (set when the slot leaves it).
   std::vector<int> tabu_until(static_cast<size_t>(slots) * cap, -1);
+  int iteration = 0;
   const auto record_if_best = [&] {
     const bool feasible = ev.IsFeasible();
     if ((feasible && !best_feasible) ||
@@ -42,6 +60,12 @@ core::ConsolidationPlan TabuSolver::Solve(
       best = ev.assignment();
       best_cost = ev.current_cost();
       best_feasible = feasible;
+      if (sink != nullptr) {
+        sink->trace().Emit(obs_track, obs_incumbent, obs::EventKind::kPoint,
+                           /*i0=*/iteration, /*i1=*/best_feasible ? 1 : 0,
+                           /*d0=*/best_cost);
+        improvements->Add(1);
+      }
       if (incumbent) incumbent->Offer(best, best_cost, best_feasible, name());
     }
   };
@@ -61,7 +85,6 @@ core::ConsolidationPlan TabuSolver::Solve(
   // the tabu budget is comparable to SA's regardless of problem size.
   long evals = 0;
   const long max_evals = budget.max_iterations;
-  int iteration = 0;
   int since_improvement = 0;
 
   bool out_of_budget = false;
