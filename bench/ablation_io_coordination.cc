@@ -46,7 +46,8 @@ double RunTotalTps(double group_commit_ms) {
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("ablation_io_coordination", argc, argv);
   using namespace kairos;
 
   bench::Banner("Ablation 1: group commit window (10 tenants x TPC-C(5w)@80)");
@@ -84,5 +85,5 @@ int main() {
   std::printf("%s", t3.ToString().c_str());
   std::printf("expected: zero for one coordinated stream; grows with stream "
               "count — the VM baselines' structural penalty.\n");
-  return 0;
+  return reporter.WriteReport();
 }

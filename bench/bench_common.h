@@ -1,4 +1,9 @@
-// Shared helpers for the table/figure reproduction benches.
+// Shared helpers for the table/figure reproduction benches, including the
+// BenchReporter harness that gives every bench binary the same observability
+// surface: `--smoke` (CI-sized run), `--metrics-out=<path>` (write the
+// versioned BENCH_<name>.json report of obs/report.h). A path ending in
+// ".json" names the report file exactly; anything else is treated as a
+// directory and the report lands at `<path>/BENCH_<name>.json`.
 #ifndef KAIROS_BENCH_BENCH_COMMON_H_
 #define KAIROS_BENCH_BENCH_COMMON_H_
 
@@ -6,11 +11,16 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "model/analytic.h"
 #include "model/disk_model.h"
 #include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/report.h"
 #include "obs/sink.h"
 #include "sim/machine.h"
 
@@ -43,20 +53,6 @@ inline std::string MetricsOutPath(int argc, char** argv) {
   return std::string();
 }
 
-/// Writes `sink`'s JSON export to `path` (no-op on an empty path). Status
-/// goes to stderr so bench stdout transcripts stay byte-identical with the
-/// flag on or off.
-inline void WriteMetrics(const obs::Sink& sink, const std::string& path) {
-  if (path.empty()) return;
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "metrics-out: cannot open %s\n", path.c_str());
-    return;
-  }
-  obs::ExportJson(sink, out);
-  std::fprintf(stderr, "metrics-out: wrote %s\n", path.c_str());
-}
-
 /// Wall-clock section timer (steady clock) — the shared replacement for the
 /// ad-hoc per-bench Now()/duration boilerplate.
 class ScopedTimer {
@@ -87,6 +83,105 @@ inline model::DiskModel TargetDiskModel() {
 inline void Banner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// The per-bench report harness. Construct first thing in main(); when
+/// `--metrics-out` is given, sink() and profiler() are live and the bench
+/// instruments its runs through them; otherwise both return nullptr and the
+/// bench pays one branch per instrumentation site. End every bench with
+/// `return reporter.WriteReport();` — a report that cannot be opened *or*
+/// written makes the process exit non-zero, so CI can never silently skip
+/// report validation. All reporter status goes to stderr; bench stdout
+/// transcripts stay byte-identical with the flag on or off.
+class BenchReporter {
+ public:
+  BenchReporter(const std::string& bench_name, int argc, char** argv)
+      : name_(bench_name),
+        smoke_(SmokeMode(argc, argv)),
+        out_path_(MetricsOutPath(argc, argv)) {
+    if (!out_path_.empty()) {
+      sink_ = std::make_unique<obs::Sink>();
+      profiler_ = std::make_unique<obs::Profiler>();
+    }
+    Config("smoke", smoke_ ? "1" : "0");
+    Config("seed", std::to_string(kSeed));
+  }
+
+  const std::string& name() const { return name_; }
+  bool smoke() const { return smoke_; }
+
+  /// Null unless --metrics-out was given.
+  obs::Sink* sink() { return sink_.get(); }
+  obs::Profiler* profiler() { return profiler_.get(); }
+
+  /// Starts a bench-phase span on the single-writer "bench" track (no-op
+  /// without a sink). Benches are single-threaded at the top level.
+  obs::ScopedSpan Phase(const std::string& phase, int64_t i0 = 0) {
+    return obs::ScopedSpan(sink_.get(), "bench", phase, i0);
+  }
+
+  /// Echoes one config key into the report (later writes win in order).
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void Config(const std::string& key, int64_t value) {
+    Config(key, std::to_string(value));
+  }
+  void Config(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    Config(key, std::string(buf));
+  }
+
+  /// Adds one bench-specific KPI (appended after the derived ones).
+  void Kpi(const std::string& kpi_name, double value) {
+    kpis_.push_back({kpi_name, value});
+  }
+
+  /// Writes BENCH_<name>.json and returns the bench's exit code: 0 on
+  /// success or when no --metrics-out was given, 1 when the report cannot
+  /// be opened or fully written.
+  int WriteReport() {
+    if (out_path_.empty()) return 0;
+    if (sink_ != nullptr) {
+      sink_->metrics().gauge("bench.total_seconds")->Set(total_timer_.Seconds());
+    }
+    const std::string path = ReportPath();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "metrics-out: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    obs::WriteBenchReport(out, name_, config_, *sink_, profiler_.get(), kpis_);
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "metrics-out: write to %s failed\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics-out: wrote %s\n", path.c_str());
+    return 0;
+  }
+
+  /// Where WriteReport() will put the report.
+  std::string ReportPath() const {
+    const std::string suffix = ".json";
+    if (out_path_.size() >= suffix.size() &&
+        out_path_.compare(out_path_.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      return out_path_;
+    }
+    return out_path_ + "/BENCH_" + name_ + ".json";
+  }
+
+ private:
+  std::string name_;
+  bool smoke_;
+  std::string out_path_;
+  std::unique_ptr<obs::Sink> sink_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<obs::KpiValue> kpis_;
+  ScopedTimer total_timer_;
+};
 
 }  // namespace kairos::bench
 

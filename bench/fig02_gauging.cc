@@ -74,9 +74,10 @@ void RunConfig(const std::string& label, uint64_t pool_bytes, uint64_t cache_byt
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig02_gauging", argc, argv);
   kairos::RunConfig("mysql/O_DIRECT", 953 * kairos::util::kMiB, 0);
   kairos::RunConfig("postgres/shared+oscache", 953 * kairos::util::kMiB,
                     1024 * kairos::util::kMiB);
-  return 0;
+  return reporter.WriteReport();
 }

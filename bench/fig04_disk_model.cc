@@ -18,7 +18,8 @@
 #include "util/table.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig04_disk_model", argc, argv);
   using namespace kairos;
 
   db::DbmsConfig cfg;
@@ -78,5 +79,5 @@ int main() {
   const auto& c = model.io_surface().coefficients();
   std::printf("LAR poly2d (normalized inputs): %.3g %+.3g u %+.3g v %+.3g u^2 "
               "%+.3g uv %+.3g v^2\n", c[0], c[1], c[2], c[3], c[4], c[5]);
-  return 0;
+  return reporter.WriteReport();
 }

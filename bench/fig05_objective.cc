@@ -15,7 +15,8 @@
 #include "util/table.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig05_objective", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 5: objective vs. load concentration, per server count");
 
@@ -54,5 +55,5 @@ int main() {
       "\nexpected: minima at the balanced points (3 per server for K=4); any\n"
       "K=4 solution < any K=5 < any K=6; overloading server0 spikes the\n"
       "objective (the constraint-violation wall on the left of Figure 5).\n");
-  return 0;
+  return reporter.WriteReport();
 }

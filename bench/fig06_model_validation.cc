@@ -80,7 +80,8 @@ void PrintCdf(const std::string& title, const util::TimeSeries& real,
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig06_model_validation", argc, argv);
   using namespace kairos;
   const double kMonitorSeconds = 80.0;
   auto synths = MakeWorkloads();
@@ -191,5 +192,5 @@ int main() {
               100.0 * std::abs(est.cpu_cores.Percentile(90.0) - p90_cpu) / p90_cpu,
               naive.cpu_cores.Percentile(90.0),
               100.0 * std::abs(naive.cpu_cores.Percentile(90.0) - p90_cpu) / p90_cpu);
-  return 0;
+  return reporter.WriteReport();
 }

@@ -18,7 +18,8 @@
 #include "trace/dataset.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig07_consolidation_ratios", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 7: consolidation ratios (target: 12 cores / 96 GB)");
 
@@ -33,7 +34,9 @@ int main() {
     core::ConsolidationProblem prob;
     prob.workloads = trace::ToProfiles(traces);
     prob.disk_model = &disk_model;
-    core::ConsolidationEngine engine(prob, core::EngineOptions{});
+    core::EngineOptions options;
+    options.sink = reporter.sink();
+    core::ConsolidationEngine engine(prob, options);
     const core::ConsolidationPlan plan = engine.Solve();
     table.AddRow({name, std::to_string(traces.size()),
                   std::to_string(traces.size()),
@@ -59,5 +62,5 @@ int main() {
   std::printf("\ntotal cores, ALL: %d before -> %d after consolidation "
               "(paper: 1419 -> 252)\n",
               total_cores_before, total_cores_after);
-  return 0;
+  return reporter.WriteReport();
 }

@@ -13,7 +13,8 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig08_load_balance", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 8: aggregate CPU across consolidated servers (ALL)");
 
@@ -22,8 +23,10 @@ int main() {
   core::ConsolidationProblem prob;
   prob.workloads = trace::ToProfiles(gen.GenerateAll());
   prob.disk_model = &disk_model;
+  core::EngineOptions engine_options;
+  engine_options.sink = reporter.sink();
   const core::ConsolidationPlan plan =
-      core::ConsolidationEngine(prob, core::EngineOptions{}).Solve();
+      core::ConsolidationEngine(prob, engine_options).Solve();
   std::printf("consolidated %zu workloads onto %d servers (feasible=%s)\n",
               prob.workloads.size(), plan.servers_used,
               plan.feasible ? "yes" : "NO");
@@ -52,5 +55,5 @@ int main() {
   std::printf("%s", table.ToString().c_str());
   std::printf("\nmean p95-p5 spread: %.1f%% of a server; max p95 over the day "
               "stays below saturation (100%%)\n", spread.Mean());
-  return 0;
+  return reporter.WriteReport();
 }

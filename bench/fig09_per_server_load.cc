@@ -14,7 +14,8 @@
 #include "util/table.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig09_per_server_load", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 9: per-server CPU box plots and max RAM (ALL)");
 
@@ -23,8 +24,10 @@ int main() {
   core::ConsolidationProblem prob;
   prob.workloads = trace::ToProfiles(gen.GenerateAll());
   prob.disk_model = &disk_model;
+  core::EngineOptions engine_options;
+  engine_options.sink = reporter.sink();
   const core::ConsolidationPlan plan =
-      core::ConsolidationEngine(prob, core::EngineOptions{}).Solve();
+      core::ConsolidationEngine(prob, engine_options).Solve();
 
   const double cpu_cap = prob.fleet.classes[0].spec.StandardCores();
   const double ram_cap = static_cast<double>(prob.fleet.classes[0].spec.ram_bytes);
@@ -67,5 +70,5 @@ int main() {
   std::printf("\nserver pairs that could still be merged (RAM+CPU): %d "
               "(paper: none — RAM or CPU always prevents merging)\n",
               mergeable_pairs);
-  return 0;
+  return reporter.WriteReport();
 }

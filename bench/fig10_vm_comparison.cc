@@ -70,7 +70,8 @@ void Panel(const std::string& label, const std::vector<double>& tps_each) {
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig10_vm_comparison", argc, argv);
   using namespace kairos;
   // Uniform: all 21 tenants offered the same aggressive rate (the paper's
   // ~20:1 consolidation level).
@@ -79,5 +80,5 @@ int main() {
   std::vector<double> skewed(21, 1.0);
   skewed[0] = 250.0;
   Panel("skewed load", skewed);
-  return 0;
+  return reporter.WriteReport();
 }

@@ -64,7 +64,8 @@ double MaxPerDbTps(vm::VirtKind kind, int tenants) {
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig11_os_virtualization", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 11: avg per-DB throughput vs. number of tenants");
 
@@ -100,5 +101,5 @@ int main() {
                   target, os_n, db_n, static_cast<double>(db_n) / os_n);
     }
   }
-  return 0;
+  return reporter.WriteReport();
 }

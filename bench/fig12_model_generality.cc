@@ -49,7 +49,8 @@ Point Measure(workload::Workload* w, db::Server* server, double seconds,
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig12_model_generality", argc, argv);
   using namespace kairos;
 
   // ---- Panel (a): database size does not matter ----
@@ -110,5 +111,5 @@ int main() {
       "expected: the two workloads impose similar write throughput at equal\n"
       "update rates despite a ~14x database-size difference; Wikipedia shows\n"
       "higher variance (70 B - 3.6 MB tuples).\n");
-  return 0;
+  return reporter.WriteReport();
 }

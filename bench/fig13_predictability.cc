@@ -11,7 +11,8 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("fig13_predictability", argc, argv);
   using namespace kairos;
   bench::Banner("Figure 13: predicting week-3 CPU from the mean of weeks 1-2");
 
@@ -42,5 +43,5 @@ int main() {
     std::printf("RMSE %.1f (%.1f%% of mean load %.1f) — paper reports ~25 "
                 "(~7-8%%)\n", rmse, 100.0 * rmse / mean, mean);
   }
-  return 0;
+  return reporter.WriteReport();
 }

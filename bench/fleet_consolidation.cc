@@ -306,12 +306,11 @@ void GenerationUpgradeDrain(int steps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = bench::SmokeMode(argc, argv);
+  bench::BenchReporter reporter("fleet_consolidation", argc, argv);
+  const bool smoke = reporter.smoke();
   const int steps = smoke ? 24 : 96;
-  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
-  obs::Sink sink;
-  if (!metrics_path.empty()) g_sink = &sink;
-  const bench::ScopedTimer bench_timer;
+  g_sink = reporter.sink();
+  reporter.Config("steps", static_cast<int64_t>(steps));
 
   solve::SolveBudget budget;
   budget.max_iterations = smoke ? 12000 : 30000;
@@ -335,9 +334,5 @@ int main(int argc, char** argv) {
   bench::Banner("generation-upgrade drain (online controller)");
   GenerationUpgradeDrain(smoke ? 32 : 64);
 
-  if (g_sink != nullptr) {
-    g_sink->metrics().gauge("bench.total_seconds")->Set(bench_timer.Seconds());
-  }
-  bench::WriteMetrics(sink, metrics_path);
-  return 0;
+  return reporter.WriteReport();
 }

@@ -5,6 +5,10 @@
 // work) and of the consolidation engine's inner loops.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "db/buffer_pool.h"
@@ -233,4 +237,24 @@ BENCHMARK(BM_DirectSphere)->Arg(4)->Arg(32)->Arg(128);
 }  // namespace
 }  // namespace kairos
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the harness flags (--smoke,
+// --metrics-out) must be stripped before benchmark::Initialize, which
+// rejects arguments it does not recognize, and the run ends by writing the
+// standard BENCH_microbench.json report.
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("microbench", argc, argv);
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) continue;
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return reporter.WriteReport();
+}

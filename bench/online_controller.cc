@@ -6,9 +6,11 @@
 // diurnal scenario the migration-aware loop needs far fewer moves at an
 // equal-or-better final service objective.
 //
-//   build/bench_online_controller [--smoke]
+//   build/bench_online_controller [--smoke] [--metrics-out=<path>]
 //
-// --smoke shrinks the horizon for CI.
+// --smoke shrinks the horizon for CI; --metrics-out writes the
+// BENCH_online_controller.json report (samples/sec and
+// detection-to-migration latency KPIs included).
 #include <cstdio>
 #include <string>
 
@@ -39,7 +41,10 @@ struct SweepResult {
 };
 
 SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
-                        int steps) {
+                        int steps, obs::Profiler* profiler) {
+  obs::ProfileScope scenario_scope(
+      profiler, "scenario/" + trace::ScenarioName(kind) +
+                    (migration_aware ? "/aware" : "/cold"));
   trace::ScenarioConfig scenario_config;
   scenario_config.steps = steps;
   scenario_config.seed = bench::kSeed;
@@ -55,6 +60,7 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
   online::ConsolidationController controller(config);
 
   online::ReplayFeed feed = online::ReplayFeed::FromProfiles(scenario.profiles);
+  feed.AttachSink(g_sink);
   std::vector<online::TelemetrySample> samples;
   SweepResult result;
   const bench::ScopedTimer scenario_timer;
@@ -85,11 +91,11 @@ SweepResult RunScenario(trace::ScenarioKind kind, bool migration_aware,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = bench::SmokeMode(argc, argv);
+  bench::BenchReporter reporter("online_controller", argc, argv);
+  const bool smoke = reporter.smoke();
   const int steps = smoke ? 64 : 288;
-  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
-  obs::Sink sink;
-  if (!metrics_path.empty()) g_sink = &sink;
+  g_sink = reporter.sink();
+  reporter.Config("steps", static_cast<int64_t>(steps));
 
   bench::Banner("online controller scenario sweep (" +
                 std::to_string(steps) + " steps, migration-aware vs cold)");
@@ -101,7 +107,7 @@ int main(int argc, char** argv) {
   for (trace::ScenarioKind kind : trace::AllScenarios()) {
     for (int mode = 0; mode < 2; ++mode) {
       const bool aware = mode == 0;
-      const SweepResult r = RunScenario(kind, aware, steps);
+      const SweepResult r = RunScenario(kind, aware, steps, reporter.profiler());
       table.AddRow({trace::ScenarioName(kind), aware ? "aware" : "cold",
                     std::to_string(r.resolves), std::to_string(r.moves),
                     std::to_string(r.stages), r.all_safe ? "yes" : "NO",
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
       diurnal_moves[0] > 0 ? diurnal_moves[1] / diurnal_moves[0] : 0.0,
       diurnal_objective[0], diurnal_objective[1]);
 
-  bench::WriteMetrics(sink, metrics_path);
-  return 0;
+  reporter.Kpi("diurnal.aware_moves", diurnal_moves[0]);
+  reporter.Kpi("diurnal.cold_moves", diurnal_moves[1]);
+  return reporter.WriteReport();
 }

@@ -23,9 +23,8 @@
 
 int main(int argc, char** argv) {
   using namespace kairos;
-  const std::string metrics_path = bench::MetricsOutPath(argc, argv);
-  obs::Sink sink;
-  obs::Sink* const sink_ptr = metrics_path.empty() ? nullptr : &sink;
+  bench::BenchReporter reporter("solver_performance", argc, argv);
+  obs::Sink* const sink_ptr = reporter.sink();
 
   bench::Banner("Solver performance: bounded-K binary search vs. full space");
 
@@ -121,6 +120,5 @@ int main(int argc, char** argv) {
               "threads: %u (speedups flatten to ~1x on a single core).\n",
               std::thread::hardware_concurrency());
 
-  bench::WriteMetrics(sink, metrics_path);
-  return 0;
+  return reporter.WriteReport();
 }

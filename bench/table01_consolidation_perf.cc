@@ -100,7 +100,8 @@ std::vector<Measured> Run(const std::vector<Tenant>& tenants, bool consolidated,
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("table01_consolidation_perf", argc, argv);
   using namespace kairos;
 
   std::vector<Experiment> experiments;
@@ -165,5 +166,5 @@ int main() {
   std::printf("%s", table.ToString().c_str());
   std::printf("\n* = consolidation NOT recommended by the engine (tests 5-6): "
               "expect throughput collapse and large latencies when forced.\n");
-  return 0;
+  return reporter.WriteReport();
 }

@@ -76,7 +76,8 @@ Measured Run(double target_tps, bool gauging) {
 }  // namespace
 }  // namespace kairos
 
-int main() {
+int main(int argc, char** argv) {
+  kairos::bench::BenchReporter reporter("table02_probing_impact", argc, argv);
   using namespace kairos;
   bench::Banner("Table 2: impact of probing on user-perceived performance");
   util::Table table({"target", "tput w/o gauging", "tput w/ gauging",
@@ -99,5 +100,5 @@ int main() {
       "(sim) at %.1f MB/s average probe growth\n(true Wikipedia@100Kp working "
       "set: 2.2 GB; paper gauged it in ~37 min at ~6.4 MB/s)\n",
       last_gauge.gauged_ws / 1e9, last_gauge.gauge_seconds, last_gauge.growth_mbps);
-  return 0;
+  return reporter.WriteReport();
 }

@@ -14,6 +14,19 @@
 
 namespace kairos::core {
 
+namespace {
+
+/// Scope guard flushing the thread's evaluator op tallies to the sink on
+/// every exit path of an instrumented solve (no-op on a null sink).
+struct EvalOpsFlusher {
+  obs::Sink* sink;
+  ~EvalOpsFlusher() {
+    if (sink != nullptr) FlushEvalOps(sink);
+  }
+};
+
+}  // namespace
+
 ConsolidationEngine::ConsolidationEngine(const ConsolidationProblem& problem,
                                          const EngineOptions& options)
     : problem_(problem), options_(options) {}
@@ -301,6 +314,12 @@ ConsolidationPlan ConsolidationEngine::Solve() {
                              options_.obs_label + "/" +
                                  std::to_string(options_.seed),
                              "solve");
+  // Credit the evaluator ops of this solve to the sink on every return
+  // path. Standalone runs start the tallies clean; under the portfolio the
+  // worker brackets each member anyway, so the flush here just lands the
+  // same ops earlier.
+  if (options_.sink != nullptr) ResetEvalOps();
+  EvalOpsFlusher ops_flusher{options_.sink};
 
   const int num_slots = problem_.TotalSlots();
   if (num_slots == 0) return plan;
@@ -466,6 +485,9 @@ ConsolidationPlan ConsolidationEngine::Solve() {
 
 ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, int k,
                                                   const std::vector<int>* targets) {
+  // Standalone polish runs (warm-started re-solves) credit their evaluator
+  // ops too; under the portfolio the worker's bracket subsumes this.
+  EvalOpsFlusher ops_flusher{options_.sink};
   // When the race is already over, skip the polish entirely: report the
   // incumbent as-is so the portfolio can join quickly.
   if (options_.should_stop && options_.should_stop()) {

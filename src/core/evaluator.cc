@@ -4,7 +4,40 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/sink.h"
+
 namespace kairos::core {
+
+namespace {
+
+/// The hot-path op tallies (see EvalOpCounts in evaluator.h). Plain
+/// thread-local integers: bumping them costs one increment and never
+/// touches shared state, so MoveDelta stays atomic-free.
+thread_local EvalOpCounts tl_eval_ops;
+
+}  // namespace
+
+void ResetEvalOps() { tl_eval_ops = EvalOpCounts{}; }
+
+EvalOpCounts CurrentEvalOps() { return tl_eval_ops; }
+
+void FlushEvalOps(obs::Sink* sink) {
+  if (sink != nullptr) {
+    if (tl_eval_ops.evaluate_ops > 0) {
+      sink->metrics().counter("evaluator.evaluate_ops")
+          ->Add(tl_eval_ops.evaluate_ops);
+    }
+    if (tl_eval_ops.move_delta_ops > 0) {
+      sink->metrics().counter("evaluator.move_delta_ops")
+          ->Add(tl_eval_ops.move_delta_ops);
+    }
+    if (tl_eval_ops.apply_move_ops > 0) {
+      sink->metrics().counter("evaluator.apply_move_ops")
+          ->Add(tl_eval_ops.apply_move_ops);
+    }
+  }
+  tl_eval_ops = EvalOpCounts{};
+}
 
 namespace {
 /// Affinity violations are counted in units of this many "relative excess"
@@ -167,6 +200,7 @@ void Evaluator::ResetScratch() const {
 }
 
 double Evaluator::Evaluate(const std::vector<int>& assignment) const {
+  ++tl_eval_ops.evaluate_ops;
   const int num_slots = acct_.num_slots();
   const int samples = acct_.num_samples();
   assert(static_cast<int>(assignment.size()) == num_slots);
@@ -266,6 +300,7 @@ double Evaluator::SlotAffinity(int slot, int server) const {
 }
 
 double Evaluator::MoveDelta(int slot, int to) const {
+  ++tl_eval_ops.move_delta_ops;
   const int from = assignment_[slot];
   if (to == from) return 0.0;
   if (acct_.PinOfSlot(slot) >= 0 && to != acct_.PinOfSlot(slot)) {
@@ -281,6 +316,7 @@ double Evaluator::MoveDelta(int slot, int to) const {
 }
 
 void Evaluator::ApplyMove(int slot, int to) {
+  ++tl_eval_ops.apply_move_ops;
   const int from = assignment_[slot];
   if (to == from) return;
   const double delta = MoveDelta(slot, to);

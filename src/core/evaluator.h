@@ -29,6 +29,10 @@
 #include "core/load_accountant.h"
 #include "core/problem.h"
 
+namespace kairos::obs {
+class Sink;
+}  // namespace kairos::obs
+
 namespace kairos::core {
 
 /// Weight of one used server in the objective: dominates any balance
@@ -40,6 +44,26 @@ inline constexpr double kServerCost = 1e3;
 inline constexpr double kViolationBase = 2e3;
 /// Proportional penalty per unit of relative constraint excess.
 inline constexpr double kViolationScale = 1e7;
+
+/// Thread-local evaluator op tallies. Every Evaluate/MoveDelta/ApplyMove
+/// bumps a plain thread-local integer — no atomics, no sink branch — and an
+/// instrumented region brackets the work with ResetEvalOps() before and
+/// FlushEvalOps(sink) after (portfolio workers flush per member, the
+/// controller per resolve, the engine per Solve). ApplyMove computes its
+/// delta through MoveDelta, so one applied move also counts one delta op.
+struct EvalOpCounts {
+  int64_t evaluate_ops = 0;
+  int64_t move_delta_ops = 0;
+  int64_t apply_move_ops = 0;
+};
+
+/// Zeroes the calling thread's tallies (start of an instrumented region).
+void ResetEvalOps();
+/// The calling thread's tallies since the last reset.
+EvalOpCounts CurrentEvalOps();
+/// Adds the calling thread's tallies to the sink's "evaluator.*_ops"
+/// counters and zeroes them. A null sink only zeroes.
+void FlushEvalOps(obs::Sink* sink);
 
 /// Evaluates assignments for one ConsolidationProblem.
 class Evaluator {

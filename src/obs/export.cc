@@ -6,13 +6,32 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace kairos::obs {
 
 namespace {
 
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBegin: return "begin";
+    case EventKind::kEnd: return "end";
+    case EventKind::kPoint: break;
+  }
+  return "point";
+}
+
+struct NamedEvent {
+  const TraceEvent* e;
+  const std::string* track;
+  const std::string* name;
+};
+
+}  // namespace
+
 /// JSON string escaping for the metric/track names we emit (plain ASCII
 /// identifiers in practice, but stay correct for anything).
-std::string Quote(const std::string& s) {
+std::string JsonQuote(const std::string& s) {
   std::string out = "\"";
   for (const char c : s) {
     switch (c) {
@@ -36,31 +55,22 @@ std::string Quote(const std::string& s) {
 }
 
 /// JSON-safe double (nan/inf have no JSON literal; emit null).
-std::string Num(double v) {
+std::string JsonNum(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
 }
 
-const char* KindName(EventKind kind) {
-  switch (kind) {
-    case EventKind::kBegin: return "begin";
-    case EventKind::kEnd: return "end";
-    case EventKind::kPoint: break;
-  }
-  return "point";
-}
+namespace {
 
-struct NamedEvent {
-  const TraceEvent* e;
-  const std::string* track;
-  const std::string* name;
-};
+/// Local shorthands so the exporter body reads as before.
+std::string Quote(const std::string& s) { return JsonQuote(s); }
+std::string Num(double v) { return JsonNum(v); }
 
 }  // namespace
 
-void ExportJson(const Sink& sink, std::ostream& os) {
+void ExportJsonFields(const Sink& sink, std::ostream& os) {
   const MetricsSnapshot snap = sink.metrics().Snapshot();
   const std::vector<TraceEvent> events = sink.trace().MergedTrace();
   const std::vector<std::string> tracks = sink.trace().TrackNames();
@@ -72,8 +82,6 @@ void ExportJson(const Sink& sink, std::ostream& os) {
     if (e.track >= tracks.size() || e.name >= names.size()) continue;
     named.push_back({&e, &tracks[e.track], &names[e.name]});
   }
-
-  os << "{\n";
 
   os << "  \"meta\": {\"wall_seconds\": " << Num(sink.trace().WallSeconds())
      << ", \"dropped_events\": " << sink.trace().dropped_events()
@@ -172,6 +180,19 @@ void ExportJson(const Sink& sink, std::ostream& os) {
   }
   os << "]},\n";
 
+  // --- Derived view: per-(track, event) span self/total profile. ----------
+  const std::vector<ProfileEntry> span_profile = BuildSpanProfile(sink.trace());
+  os << "  \"span_profile\": [";
+  for (size_t i = 0; i < span_profile.size(); ++i) {
+    const ProfileEntry& entry = span_profile[i];
+    if (i > 0) os << ", ";
+    os << "{\"track\": " << Quote(entry.track) << ", \"name\": "
+       << Quote(entry.name) << ", \"count\": " << entry.count
+       << ", \"total_seconds\": " << Num(entry.total_seconds)
+       << ", \"self_seconds\": " << Num(entry.self_seconds) << "}";
+  }
+  os << "],\n";
+
   // --- Full merged trace. --------------------------------------------------
   os << "  \"events\": [";
   for (size_t i = 0; i < named.size(); ++i) {
@@ -184,7 +205,11 @@ void ExportJson(const Sink& sink, std::ostream& os) {
        << ", \"d1\": " << Num(ne.e->d1) << "}";
   }
   os << "]\n";
+}
 
+void ExportJson(const Sink& sink, std::ostream& os) {
+  os << "{\n";
+  ExportJsonFields(sink, os);
   os << "}\n";
 }
 
@@ -231,6 +256,16 @@ std::string ExportText(const Sink& sink) {
      << sink.trace().dropped_events() << " dropped) ==\n";
   for (const auto& [track, count] : per_track) {
     os << "  " << track << ": " << count << " events\n";
+  }
+
+  os << "== span profile (total / self seconds, count) ==\n";
+  for (const ProfileEntry& entry : BuildSpanProfile(sink.trace())) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %12.6f %12.6f %8lld  %s:%s\n",
+                  entry.total_seconds, entry.self_seconds,
+                  static_cast<long long>(entry.count), entry.track.c_str(),
+                  entry.name.c_str());
+    os << buf;
   }
   return os.str();
 }

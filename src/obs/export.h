@@ -15,6 +15,9 @@
 //   "controller"              — the online controller's per-stage timeline
 //                               (detect / resolve / plan / ledger) and the
 //                               "detection_to_migration_seconds" latencies.
+//   "span_profile"            — per-(track, event) self/total wall-time
+//                               aggregation of the kBegin/kEnd spans
+//                               (obs/profile.h).
 //
 // Wall-clock fields are machine-dependent; everything else is deterministic
 // for a deterministic workload (see trace.h).
@@ -34,6 +37,17 @@ inline constexpr double kWallBucketSeconds = 0.01;
 
 /// Writes the full JSON document described above.
 void ExportJson(const Sink& sink, std::ostream& os);
+
+/// Writes the document's fields only — no enclosing braces, no trailing
+/// comma — so composite documents (bench reports, report.h) can embed the
+/// standard sink dump alongside their own fields.
+void ExportJsonFields(const Sink& sink, std::ostream& os);
+
+/// JSON string escaping (quotes included).
+std::string JsonQuote(const std::string& s);
+
+/// JSON-safe double literal (nan/inf have no JSON literal; emits null).
+std::string JsonNum(double v);
 
 /// JSON convenience wrapper.
 std::string ExportJsonString(const Sink& sink);

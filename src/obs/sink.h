@@ -59,6 +59,15 @@ class ScopedSpan {
     sink_->trace().Emit(track_, name_, EventKind::kBegin, i0_);
   }
 
+  /// Pre-interned ids (InternTrack/InternName hoisted by the caller): no
+  /// string traffic or intern lock on the span path.
+  ScopedSpan(Sink* sink, uint32_t track, uint32_t name, int64_t i0 = 0)
+      : sink_(sink), track_(track), name_(name), i0_(i0) {
+    if (sink_ == nullptr) return;
+    start_ = std::chrono::steady_clock::now();
+    sink_->trace().Emit(track_, name_, EventKind::kBegin, i0_);
+  }
+
   ~ScopedSpan() {
     if (sink_ == nullptr) return;
     sink_->trace().Emit(track_, name_, EventKind::kEnd, i0_, 0, 0, Seconds());

@@ -18,6 +18,19 @@ uint64_t MixSeed(uint64_t seed, int solve_index, int member) {
   return x == 0 ? 1 : x;
 }
 
+/// Brackets one control step's evaluator ops on the control thread (the
+/// forecast feasibility check and plan finalization; portfolio workers
+/// bracket their own members). No-op without a sink.
+struct EvalOpsScope {
+  explicit EvalOpsScope(obs::Sink* s) : sink(s) {
+    if (sink != nullptr) core::ResetEvalOps();
+  }
+  ~EvalOpsScope() {
+    if (sink != nullptr) core::FlushEvalOps(sink);
+  }
+  obs::Sink* sink;
+};
+
 }  // namespace
 
 ConsolidationController::ConsolidationController(const ControllerConfig& config)
@@ -64,7 +77,21 @@ std::vector<monitor::ProfileStats> ConsolidationController::CurrentStats() const
 }
 
 void ConsolidationController::Ingest(const std::vector<TelemetrySample>& samples) {
-  builder_.Ingest(samples);
+  if (config_.sink != nullptr) {
+    // Time only the telemetry -> rolling-profile path (the ROADMAP
+    // samples/sec KPI measures ingestion, not the re-solves it triggers).
+    InternObsIds();
+    const auto ingest_start = std::chrono::steady_clock::now();
+    builder_.Ingest(samples);
+    ingest_seconds_accum_ += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - ingest_start)
+                                 .count();
+    obs_ingest_seconds_->Set(ingest_seconds_accum_);
+    obs_steps_ingested_->Add(1);
+    obs_samples_ingested_->Add(static_cast<int64_t>(samples.size()));
+  } else {
+    builder_.Ingest(samples);
+  }
   ++step_;
   if (static_cast<int>(builder_.samples_seen()) < config_.warmup_samples) return;
   // The bootstrap solve happens at the first warmed-up step; afterwards
@@ -159,6 +186,15 @@ void ConsolidationController::InternObsIds() {
   obs_plan_ = trace.InternName("plan");
   obs_ledger_ = trace.InternName("ledger");
   obs_latency_ = trace.InternName("detect_to_migrate");
+  obs::Registry& metrics = config_.sink->metrics();
+  obs_resolves_ = metrics.counter("controller.resolves");
+  obs_infeasible_ = metrics.counter("controller.infeasible_adoptions");
+  obs_samples_ingested_ = metrics.counter("controller.samples_ingested");
+  obs_steps_ingested_ = metrics.counter("controller.steps_ingested");
+  obs_ingest_seconds_ = metrics.gauge("controller.ingest_seconds");
+  obs_latency_hist_ = metrics.histogram(
+      "controller.detect_to_migrate_seconds",
+      {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0});
   obs_ids_ready_ = true;
 }
 
@@ -184,6 +220,7 @@ void ConsolidationController::RunControl(const std::string& forced_reason) {
     InternObsIds();
     stage_start_ = std::chrono::steady_clock::now();
   }
+  EvalOpsScope ops_scope(config_.sink);
   core::ConsolidationProblem problem = SnapshotProblem();
   if (assignment_.empty()) {
     EmitStage(obs_detect_, 1);
@@ -294,14 +331,9 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
     config_.sink->trace().Emit(obs_track_, obs_latency_,
                                obs::EventKind::kPoint, /*i0=*/step_,
                                /*i1=*/event.moves, /*d0=*/latency);
-    config_.sink->metrics()
-        .histogram("controller.detect_to_migrate_seconds",
-                   {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0})
-        ->Observe(latency);
-    config_.sink->metrics().counter("controller.resolves")->Add(1);
-    if (!event.feasible) {
-      config_.sink->metrics().counter("controller.infeasible_adoptions")->Add(1);
-    }
+    obs_latency_hist_->Observe(latency);
+    obs_resolves_->Add(1);
+    if (!event.feasible) obs_infeasible_->Add(1);
   }
   migration_plans_.push_back(std::move(migration));
 

@@ -183,8 +183,10 @@ class ConsolidationController {
   DriftDetector drift_;
   MigrationPlanner planner_;
 
-  // Controller trace ids (single control thread: the "controller" track has
-  // one writer by construction).
+  // Controller trace ids and metric handles (single control thread: the
+  // "controller" track has one writer by construction). Handles are cached
+  // at first use so per-step/per-resolve paths never re-intern names or
+  // take the registry lock.
   bool obs_ids_ready_ = false;
   uint32_t obs_track_ = 0;
   uint32_t obs_detect_ = 0;
@@ -192,6 +194,13 @@ class ConsolidationController {
   uint32_t obs_plan_ = 0;
   uint32_t obs_ledger_ = 0;
   uint32_t obs_latency_ = 0;
+  obs::Counter* obs_resolves_ = nullptr;
+  obs::Counter* obs_infeasible_ = nullptr;
+  obs::Counter* obs_samples_ingested_ = nullptr;
+  obs::Counter* obs_steps_ingested_ = nullptr;
+  obs::Gauge* obs_ingest_seconds_ = nullptr;
+  obs::Histogram* obs_latency_hist_ = nullptr;
+  double ingest_seconds_accum_ = 0;
   std::chrono::steady_clock::time_point stage_start_;
 
   int step_ = -1;

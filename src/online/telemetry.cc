@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/sink.h"
+
 namespace kairos::online {
+
+void TelemetryFeed::AttachSink(obs::Sink* sink) {
+  if (sink == nullptr) {
+    steps_emitted_ = nullptr;
+    samples_emitted_ = nullptr;
+    return;
+  }
+  steps_emitted_ = sink->metrics().counter("telemetry.steps_emitted");
+  samples_emitted_ = sink->metrics().counter("telemetry.samples_emitted");
+}
+
+void TelemetryFeed::CountEmitted(size_t samples) {
+  if (steps_emitted_ == nullptr) return;
+  steps_emitted_->Add(1);
+  samples_emitted_->Add(static_cast<int64_t>(samples));
+}
 
 ReplayFeed::ReplayFeed(std::vector<std::string> names,
                        std::vector<std::vector<TelemetrySample>> steps)
@@ -81,6 +99,7 @@ std::string ReplayFeed::workload_name(int w) const { return names_[w]; }
 bool ReplayFeed::Next(std::vector<TelemetrySample>* out) {
   if (cursor_ >= steps_.size()) return false;
   *out = steps_[cursor_++];
+  CountEmitted(out->size());
   return true;
 }
 

@@ -13,6 +13,11 @@
 #include "trace/dataset.h"
 #include "workload/driver.h"
 
+namespace kairos::obs {
+class Counter;
+class Sink;
+}  // namespace kairos::obs
+
 namespace kairos::online {
 
 /// One monitoring window's measurements for one workload.
@@ -35,6 +40,21 @@ class TelemetryFeed {
   /// Fills `out` (resized to num_workloads()) with the next step's samples.
   /// Returns false when the feed is exhausted (out untouched).
   virtual bool Next(std::vector<TelemetrySample>* out) = 0;
+
+  /// Attaches an observability sink: every successful Next() counts into
+  /// "telemetry.steps_emitted" / "telemetry.samples_emitted". Counter
+  /// handles are cached here once, so the per-step cost is two relaxed
+  /// adds; a null sink detaches (one branch per step).
+  void AttachSink(obs::Sink* sink);
+
+ protected:
+  /// Subclasses call this once per successful Next() with the step's
+  /// sample count.
+  void CountEmitted(size_t samples);
+
+ private:
+  obs::Counter* steps_emitted_ = nullptr;
+  obs::Counter* samples_emitted_ = nullptr;
 };
 
 /// Replays pre-recorded per-step samples, e.g. converted trace series.

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "core/evaluator.h"
+
 namespace kairos::solve {
 
 namespace {
@@ -54,6 +56,23 @@ PortfolioResult PortfolioRunner::Run(
   // exactly one thread ever writes it and the merged trace stays
   // deterministic regardless of scheduling.
   obs::Sink* const sink = options_.budget.sink;
+
+  // Pre-intern every member's track plus the shared event name and cache
+  // the counter handle once, so workers never take the intern/registry
+  // locks or rebuild track-name strings per member.
+  std::vector<uint32_t> member_tracks;
+  uint32_t solver_name_id = 0;
+  obs::Counter* members_run = nullptr;
+  if (sink != nullptr) {
+    member_tracks.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      member_tracks.push_back(sink->trace().InternTrack(
+          "portfolio/" + std::to_string(i) + "-" + specs[i].solver));
+    }
+    solver_name_id = sink->trace().InternName("solver");
+    members_run = sink->metrics().counter("portfolio.members_run");
+  }
+
   std::atomic<int> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -66,13 +85,15 @@ PortfolioResult PortfolioRunner::Run(
       std::unique_ptr<Solver> solver =
           SolverRegistry::Global().Create(specs[i].solver, specs[i].seed);
       if (solver) {
-        obs::ScopedSpan member_span(
-            sink, "portfolio/" + std::to_string(i) + "-" + specs[i].solver,
-            "solver", /*i0=*/i);
+        obs::ScopedSpan member_span(sink, member_tracks.empty() ? 0
+                                                                : member_tracks[i],
+                                    solver_name_id, /*i0=*/i);
+        core::ResetEvalOps();
         member.plan = solver->Solve(problem, options_.budget, &incumbent);
+        core::FlushEvalOps(sink);
       }
       member.solve_seconds = Seconds(solver_start);
-      if (sink != nullptr) sink->Count("portfolio.members_run");
+      if (members_run != nullptr) members_run->Add(1);
     }
   };
 

@@ -1,0 +1,191 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace kairos::util {
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(Offset());
+    }
+    return false;
+  }
+
+  size_t Offset() const { return static_cast<size_t>(p - begin); }
+  const char* begin;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end - p) < n || std::strncmp(p, lit, n) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    p += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) return Fail("truncated escape");
+      const char esc = *p++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (the names we emit are ASCII;
+          // surrogate pairs are out of scope and decode as two units).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p >= end) return Fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        out->type = JsonValue::Type::kObject;
+        ++p;
+        SkipWs();
+        if (p < end && *p == '}') { ++p; return true; }
+        for (;;) {
+          SkipWs();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWs();
+          if (p >= end || *p != ':') return Fail("expected ':'");
+          ++p;
+          JsonValue value;
+          if (!ParseValue(&value)) return false;
+          out->object.emplace_back(std::move(key), std::move(value));
+          SkipWs();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == '}') { ++p; return true; }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out->type = JsonValue::Type::kArray;
+        ++p;
+        SkipWs();
+        if (p < end && *p == ']') { ++p; return true; }
+        for (;;) {
+          JsonValue value;
+          if (!ParseValue(&value)) return false;
+          out->array.push_back(std::move(value));
+          SkipWs();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == ']') { ++p; return true; }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default: {
+        char* num_end = nullptr;
+        const double v = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end) return Fail("expected value");
+        out->type = JsonValue::Type::kNumber;
+        out->number = v;
+        p = num_end;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  *out = JsonValue();
+  Parser parser;
+  parser.p = text.data();
+  parser.begin = text.data();
+  parser.end = text.data() + text.size();
+  if (!parser.ParseValue(out)) {
+    if (error) *error = parser.error;
+    return false;
+  }
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    if (error) {
+      *error = "trailing garbage at offset " + std::to_string(parser.Offset());
+    }
+    return false;
+  }
+  return true;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace kairos::util

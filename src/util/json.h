@@ -1,0 +1,46 @@
+// Minimal JSON document model + recursive-descent parser — just enough to
+// read back the documents this repo writes (obs exports, bench reports,
+// metrics baselines) without an external dependency. Numbers are doubles
+// (exact for the int64 counters we emit up to 2^53), objects preserve
+// insertion order and are looked up linearly (documents here are small and
+// metric names contain '.', so there is deliberately no dotted-path
+// helper — index sections explicitly).
+#ifndef KAIROS_UTIL_JSON_H_
+#define KAIROS_UTIL_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kairos::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` into `*out`. Returns false (with a position-annotated
+  /// message in `*error` when non-null) on malformed input or trailing
+  /// garbage.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup (null when absent or not an object).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+}  // namespace kairos::util
+
+#endif  // KAIROS_UTIL_JSON_H_

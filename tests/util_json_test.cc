@@ -1,0 +1,90 @@
+// Tests for the minimal JSON document model used to read back bench
+// reports and metrics baselines (util/json.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace kairos {
+namespace {
+
+using util::JsonValue;
+
+TEST(JsonParseTest, ScalarsAndTypes) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("null", &v));
+  EXPECT_TRUE(v.is_null());
+
+  ASSERT_TRUE(JsonValue::Parse("true", &v));
+  EXPECT_EQ(v.type, JsonValue::Type::kBool);
+  EXPECT_TRUE(v.boolean);
+
+  ASSERT_TRUE(JsonValue::Parse("false", &v));
+  EXPECT_FALSE(v.boolean);
+
+  ASSERT_TRUE(JsonValue::Parse("-12.5e2", &v));
+  ASSERT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.number, -1250.0);
+
+  ASSERT_TRUE(JsonValue::Parse("\"hello\"", &v));
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string, "hello");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(R"("a\"b\\c\nd\te")", &v));
+  EXPECT_EQ(v.string, "a\"b\\c\nd\te");
+  // BMP \uXXXX escapes decode to UTF-8.
+  ASSERT_TRUE(JsonValue::Parse("\"\\u00e9A\"", &v));
+  EXPECT_EQ(v.string, "\xc3\xa9"
+                      "A");
+}
+
+TEST(JsonParseTest, ObjectPreservesInsertionOrderAndFinds) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(
+      R"({"zebra": 1, "alpha": {"nested": [1, 2, 3]}, "mid": "s"})", &v));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "zebra");
+  EXPECT_EQ(v.object[1].first, "alpha");
+  EXPECT_EQ(v.object[2].first, "mid");
+
+  const JsonValue* nested = v.Find("alpha");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* arr = nested->Find("nested");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[2].number, 3.0);
+
+  EXPECT_EQ(v.Find("absent"), nullptr);
+  // Find on a non-object is null, not a crash.
+  EXPECT_EQ(arr->Find("x"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInputWithPosition) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }", &v, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+
+  EXPECT_FALSE(JsonValue::Parse("", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("[1, 2", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("nul", &v, &error));
+  // Trailing garbage after a complete document is an error too.
+  EXPECT_FALSE(JsonValue::Parse("{} extra", &v, &error));
+}
+
+TEST(JsonParseTest, RoundTripsLargeCounterValuesExactly) {
+  // int64 counters are emitted as integers; doubles are exact to 2^53.
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse("9007199254740992", &v));
+  EXPECT_EQ(static_cast<int64_t>(v.number), int64_t{9007199254740992});
+}
+
+}  // namespace
+}  // namespace kairos

@@ -1,0 +1,130 @@
+// metrics_diff: the CI regression gate over bench reports.
+//
+//   metrics_diff <baseline.json> <current.json> [options]
+//
+// Compares a freshly produced BENCH_<name>.json report against a
+// checked-in baseline (bench/baselines/) using obs::DiffReports. Exit
+// codes: 0 = within tolerance, 1 = regression (one "FAIL:" line per
+// violated metric), 2 = usage or unreadable/unparseable input.
+//
+// Options (override any rules embedded in the baseline's "diff_rules"):
+//   --timing-ratio=N   fail when a seconds-gauge or histogram sum exceeds
+//                      baseline * N (N <= 1 disables timing checks)
+//   --kpi-ratio=N      rate-KPI floor / latency-KPI ceiling factor
+//   --skip=GLOB        ignore metrics matching GLOB (repeatable)
+//   --exact-counter=GLOB  restrict the exact-counter gate to matching
+//                      counters (repeatable; overrides baseline list)
+//   --quiet            suppress informational "note:" lines
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "util/json.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--timing-ratio=N] "
+               "[--kpi-ratio=N] [--skip=GLOB]... [--exact-counter=GLOB]... "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return in.good() || in.eof();
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool quiet = false;
+  bool have_timing_ratio = false, have_kpi_ratio = false;
+  double timing_ratio = 0, kpi_ratio = 0;
+  std::vector<std::string> skip, exact_counters;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--timing-ratio=", 15) == 0) {
+      if (!ParseDouble(arg + 15, &timing_ratio)) return Usage(argv[0]);
+      have_timing_ratio = true;
+    } else if (std::strncmp(arg, "--kpi-ratio=", 12) == 0) {
+      if (!ParseDouble(arg + 12, &kpi_ratio)) return Usage(argv[0]);
+      have_kpi_ratio = true;
+    } else if (std::strncmp(arg, "--skip=", 7) == 0) {
+      skip.emplace_back(arg + 7);
+    } else if (std::strncmp(arg, "--exact-counter=", 16) == 0) {
+      exact_counters.emplace_back(arg + 16);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "metrics_diff: unknown option %s\n", arg);
+      return Usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage(argv[0]);
+
+  kairos::util::JsonValue docs[2];
+  const char* roles[2] = {"baseline", "current"};
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!ReadFile(paths[i], &text)) {
+      std::fprintf(stderr, "metrics_diff: cannot read %s %s\n", roles[i],
+                   paths[i].c_str());
+      return 2;
+    }
+    std::string error;
+    if (!kairos::util::JsonValue::Parse(text, &docs[i], &error)) {
+      std::fprintf(stderr, "metrics_diff: %s %s: %s\n", roles[i],
+                   paths[i].c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  // Precedence: defaults < baseline diff_rules < command-line flags.
+  kairos::obs::DiffOptions options;
+  kairos::obs::ApplyBaselineRules(docs[0], &options);
+  if (have_timing_ratio) options.timing_ratio = timing_ratio;
+  if (have_kpi_ratio) options.kpi_ratio = kpi_ratio;
+  for (const auto& pattern : skip) options.skip.push_back(pattern);
+  if (!exact_counters.empty()) options.exact_counters = exact_counters;
+
+  const kairos::obs::DiffResult result =
+      kairos::obs::DiffReports(docs[0], docs[1], options);
+
+  if (!quiet) {
+    for (const auto& note : result.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+  }
+  for (const auto& failure : result.failures) {
+    std::printf("FAIL: %s\n", failure.c_str());
+  }
+  if (!result.ok) {
+    std::printf("metrics_diff: %zu regression(s) vs %s\n",
+                result.failures.size(), paths[0].c_str());
+    return 1;
+  }
+  std::printf("metrics_diff: OK (%zu metric notes) vs %s\n",
+              result.notes.size(), paths[0].c_str());
+  return 0;
+}
