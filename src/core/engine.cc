@@ -108,22 +108,40 @@ Assignment ConsolidationEngine::DecodePoint(const std::vector<double>& x, int k,
   return a;
 }
 
+Evaluator* ConsolidationEngine::EvaluatorFor(int k,
+                                             std::unique_ptr<Evaluator>* owned) {
+  if (options_.reuse_probe_context && k == problem_.ServerCap()) {
+    if (probe_ev_ == nullptr) {
+      probe_ev_ = std::make_unique<Evaluator>(problem_, k);
+    }
+    return probe_ev_.get();
+  }
+  *owned = std::make_unique<Evaluator>(problem_, k);
+  return owned->get();
+}
+
 Assignment ConsolidationEngine::RunDirect(int k, int budget, double target_value,
                                           int* evals_out,
-                                          const std::vector<int>* targets_override) {
-  Evaluator ev(problem_, k);
+                                          const std::vector<int>* targets_override,
+                                          Evaluator* reuse_ev) {
+  std::unique_ptr<Evaluator> owned_ev;
+  Evaluator* ev = reuse_ev;
+  if (ev == nullptr) {
+    owned_ev = std::make_unique<Evaluator>(problem_, k);
+    ev = owned_ev.get();
+  }
   const sim::FleetSpec::PlacementMask mask = problem_.fleet.PlacementTargets(k);
   const std::vector<int>* targets =
       targets_override != nullptr ? targets_override
                                   : (mask.masked ? &mask.targets : nullptr);
-  const int dims = ev.num_slots();
+  const int dims = ev->num_slots();
   opt::DirectOptimizer direct;
   opt::DirectOptions opts;
   opts.max_evaluations = budget;
   opts.epsilon = options_.direct_epsilon;
   opts.target_value = target_value;
   const auto objective = [&](const std::vector<double>& x) {
-    return ev.Evaluate(DecodePoint(x, k, targets).server_of_slot);
+    return ev->Evaluate(DecodePoint(x, k, targets).server_of_slot);
   };
   const opt::DirectResult res = direct.Minimize(objective, dims, opts);
   if (evals_out) *evals_out = res.evaluations;
@@ -158,22 +176,36 @@ void ConsolidationEngine::LocalSearch(Evaluator* ev, int max_sweeps, util::Rng* 
     return mask.masked && acct.ClassDrained(acct.ClassOfServer(j));
   };
 
+  // Relocation scratch, reused across sweeps. The batched evaluation
+  // shares the from-side what-if cost across a slot's whole target scan
+  // (the evaluator state is constant during the scan — moves apply after
+  // it), with deltas bit-identical to the scalar loop; the first-in-order
+  // strict-< winner is therefore the same move the scalar scan picked.
+  std::vector<int> batch_targets;
+  std::vector<double> batch_deltas;
+  batch_targets.reserve(mask.targets.size());
+
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool improved = false;
-    // Relocation pass (best-improvement per slot).
+    // Relocation pass (best-improvement per slot, batched deltas).
     for (int i = slots - 1; i > 0; --i) {
       std::swap(order[i], order[static_cast<int>(rng->UniformInt(0, i))]);
     }
     for (int slot : order) {
       if (ev->PinOfSlot(slot) >= 0) continue;
+      const int cur = ev->assignment()[slot];
+      batch_targets.clear();
+      for (int j : mask.targets) {
+        if (j != cur) batch_targets.push_back(j);
+      }
+      if (batch_targets.empty()) continue;
+      ev->MoveDeltaBatch(slot, batch_targets, &batch_deltas);
       double best_delta = -1e-9;
       int best_to = -1;
-      for (int j : mask.targets) {
-        if (j == ev->assignment()[slot]) continue;
-        const double d = ev->MoveDelta(slot, j);
-        if (d < best_delta) {
-          best_delta = d;
-          best_to = j;
+      for (size_t i = 0; i < batch_targets.size(); ++i) {
+        if (batch_deltas[i] < best_delta) {
+          best_delta = batch_deltas[i];
+          best_to = batch_targets[i];
         }
       }
       if (best_to >= 0) {
@@ -269,16 +301,28 @@ bool ConsolidationEngine::ProbeServersImpl(const std::vector<int>& servers,
                 (0xB06DULL * (static_cast<uint64_t>(servers.size()) + 1)));
 
   // 1. Multi-resource greedy restricted to the subset, then local search
-  //    over the same subset.
+  //    over the same subset. Every probe runs at k == ServerCap(), so the
+  //    packing context and the Evaluator are reusable across the
+  //    dimensioner's whole probe sequence (bit-identical results; see
+  //    EngineOptions::reuse_probe_context).
   bool greedy_clean = false;
-  Assignment seed = GreedyMultiResource(problem_, k, &greedy_clean, &servers);
-  Evaluator ev(problem_, k);
-  ev.Load(seed.server_of_slot);
-  if (!ev.IsFeasible()) {
-    LocalSearch(&ev, options_.local_search_max_sweeps, &rng, &servers);
+  Assignment seed;
+  if (options_.reuse_probe_context) {
+    if (probe_pack_ == nullptr) {
+      probe_pack_ = std::make_unique<GreedyPackContext>(problem_, k);
+    }
+    seed = GreedyMultiResource(*probe_pack_, &greedy_clean, &servers);
+  } else {
+    seed = GreedyMultiResource(problem_, k, &greedy_clean, &servers);
   }
-  if (ev.IsFeasible()) {
-    if (out) out->server_of_slot = ev.assignment();
+  std::unique_ptr<Evaluator> owned_ev;
+  Evaluator* ev = EvaluatorFor(k, &owned_ev);
+  ev->Load(seed.server_of_slot);
+  if (!ev->IsFeasible()) {
+    LocalSearch(ev, options_.local_search_max_sweeps, &rng, &servers);
+  }
+  if (ev->IsFeasible()) {
+    if (out) out->server_of_slot = ev->assignment();
     return true;
   }
 
@@ -288,18 +332,18 @@ bool ConsolidationEngine::ProbeServersImpl(const std::vector<int>& servers,
   //    server costs plus a balance tail of e each — the subset analogue of
   //    the prefix probe's threshold.
   const double feasible_threshold =
-      kServerCost * ev.accountant().SubsetWeight(servers) +
+      kServerCost * ev->accountant().SubsetWeight(servers) +
       static_cast<double>(servers.size()) * std::exp(1.0);
   int evals = 0;
   Assignment candidate =
-      RunDirect(k, direct_budget, feasible_threshold, &evals, &servers);
+      RunDirect(k, direct_budget, feasible_threshold, &evals, &servers, ev);
   evaluations_ += evals;
-  ev.Load(candidate.server_of_slot);
-  if (!ev.IsFeasible()) {
-    LocalSearch(&ev, options_.local_search_max_sweeps, &rng, &servers);
+  ev->Load(candidate.server_of_slot);
+  if (!ev->IsFeasible()) {
+    LocalSearch(ev, options_.local_search_max_sweeps, &rng, &servers);
   }
-  if (ev.IsFeasible()) {
-    if (out) out->server_of_slot = ev.assignment();
+  if (ev->IsFeasible()) {
+    if (out) out->server_of_slot = ev->assignment();
     return true;
   }
   return false;
@@ -344,11 +388,12 @@ ConsolidationPlan ConsolidationEngine::Solve() {
 
   const auto broadcast = [this](const Assignment& a, int k) {
     if (!options_.on_incumbent && options_.sink == nullptr) return;
-    Evaluator ev(problem_, k);
-    ev.Load(a.server_of_slot);
-    EmitIncumbent(ev.current_cost(), ev.IsFeasible());
+    std::unique_ptr<Evaluator> owned_ev;
+    Evaluator* ev = EvaluatorFor(k, &owned_ev);
+    ev->Load(a.server_of_slot);
+    EmitIncumbent(ev->current_cost(), ev->IsFeasible());
     if (options_.on_incumbent) {
-      options_.on_incumbent(a, ev.current_cost(), ev.IsFeasible());
+      options_.on_incumbent(a, ev->current_cost(), ev->IsFeasible());
     }
   };
   const auto stop_requested = [this] {
@@ -500,27 +545,28 @@ ConsolidationPlan ConsolidationEngine::PolishPlan(const Assignment& incumbent, i
   }
 
   // DIRECT for global moves, then local search, keeping the best feasible
-  // incumbent.
+  // incumbent. One evaluator serves both phases: everything the first
+  // phase decides on is copied out before the second re-Loads it.
   util::Rng rng(options_.seed + 17);
-  Evaluator ev(problem_, k);
-  ev.Load(incumbent.server_of_slot);
-  LocalSearch(&ev, options_.local_search_max_sweeps * 2, &rng, targets);
-  double best_cost = ev.current_cost();
-  std::vector<int> best_assign = ev.assignment();
-  const bool best_feasible = ev.IsFeasible();
+  std::unique_ptr<Evaluator> owned_ev;
+  Evaluator* ev = EvaluatorFor(k, &owned_ev);
+  ev->Load(incumbent.server_of_slot);
+  LocalSearch(ev, options_.local_search_max_sweeps * 2, &rng, targets);
+  double best_cost = ev->current_cost();
+  std::vector<int> best_assign = ev->assignment();
+  const bool best_feasible = ev->IsFeasible();
 
   if (options_.use_bounded_k &&
       !(options_.should_stop && options_.should_stop())) {
     int evals = 0;
     Assignment polished =
-        RunDirect(k, options_.direct_evaluations, -1e300, &evals, targets);
+        RunDirect(k, options_.direct_evaluations, -1e300, &evals, targets, ev);
     evaluations_ += evals;
-    Evaluator ev2(problem_, k);
-    ev2.Load(polished.server_of_slot);
-    LocalSearch(&ev2, options_.local_search_max_sweeps, &rng, targets);
-    if (ev2.current_cost() < best_cost && (ev2.IsFeasible() || !best_feasible)) {
-      best_cost = ev2.current_cost();
-      best_assign = ev2.assignment();
+    ev->Load(polished.server_of_slot);
+    LocalSearch(ev, options_.local_search_max_sweeps, &rng, targets);
+    if (ev->current_cost() < best_cost && (ev->IsFeasible() || !best_feasible)) {
+      best_cost = ev->current_cost();
+      best_assign = ev->assignment();
     }
   }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,13 @@ struct EngineOptions {
   /// use_bounded_k is set; uniform fleets always take the count-prefix
   /// path, which is exact for them and stays bit-identical).
   DimensioningMode dimensioning = DimensioningMode::kCostBudget;
+  /// Reuse the full-cap Evaluator and greedy packing context (slot
+  /// accountant + slot/server orderings) across the dimensioner's budget
+  /// probes and the polish, instead of rebuilding them per probe. Results
+  /// are bit-identical either way — Evaluate() is pure and Load() fully
+  /// resets — so this is purely a probe-latency lever; the off switch
+  /// exists for the cached-vs-uncached comparison in the benches.
+  bool reuse_probe_context = true;
 
   /// Called whenever the engine improves its incumbent (after each
   /// successful feasibility probe and after the final polish). Lets a
@@ -172,8 +180,19 @@ class ConsolidationEngine {
 
   /// DIRECT over the slot->server encoding with `k` servers. A non-null
   /// `targets` overrides the fleet placement mask with an explicit subset.
+  /// A non-null `reuse_ev` (which must be sized for `k` servers) serves
+  /// the objective evaluations instead of a freshly built Evaluator; only
+  /// its scratch is touched, never its Load state.
   Assignment RunDirect(int k, int budget, double target_value, int* evals_out,
-                       const std::vector<int>* targets = nullptr);
+                       const std::vector<int>* targets = nullptr,
+                       Evaluator* reuse_ev = nullptr);
+
+  /// An Evaluator sized for `k` servers: the cached full-cap instance when
+  /// probe-context reuse is on and `k` is the problem's cap (the
+  /// dimensioner probes and the polish), else a fresh one parked in
+  /// `*owned`. Callers fully re-Load before reading, so sharing one
+  /// instance across sequential phases cannot change results.
+  Evaluator* EvaluatorFor(int k, std::unique_ptr<Evaluator>* owned);
 
   /// Respects pins when decoding DIRECT points. A non-empty `targets`
   /// restricts the encoding to those servers (the hard drain mask).
@@ -185,6 +204,13 @@ class ConsolidationEngine {
   int evaluations_ = 0;
   int probe_attempts_ = 0;
   uint32_t obs_track_ = kNoObsTrack;
+
+  /// Probe caches (see EngineOptions::reuse_probe_context): the full-cap
+  /// Evaluator and greedy packing context every ProbeServers call used to
+  /// rebuild from scratch. Lazily built; both are keyed to the problem's
+  /// ServerCap(), which ProbeServersImpl always probes at.
+  std::unique_ptr<Evaluator> probe_ev_;
+  std::unique_ptr<GreedyPackContext> probe_pack_;
 
   static constexpr uint32_t kNoObsTrack = 0xFFFFFFFFu;
 };

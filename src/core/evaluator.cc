@@ -72,6 +72,23 @@ Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
     slot_current_ = problem.current_assignment;
   }
   has_migration_ = problem.migration_cost_weight > 0.0 && !slot_current_.empty();
+
+  const int num_workloads = static_cast<int>(problem.workloads.size());
+  workload_slot_begin_.assign(num_workloads + 1, 0);
+  for (int wi = 0; wi < num_workloads; ++wi) {
+    workload_slot_begin_[wi + 1] =
+        workload_slot_begin_[wi] + problem.workloads[wi].replicas;
+  }
+  affinity_partners_.assign(num_workloads, {});
+  for (const auto& [wa, wb] : problem.anti_affinity) {
+    if (wa < 0 || wa >= num_workloads || wb < 0 || wb >= num_workloads) continue;
+    if (wa == wb) {
+      affinity_partners_[wa].push_back(wa);
+    } else {
+      affinity_partners_[wa].push_back(wb);
+      affinity_partners_[wb].push_back(wa);
+    }
+  }
 }
 
 template <typename CpuAt, typename RamAt, typename RateAt>
@@ -155,25 +172,27 @@ void Evaluator::RecomputeServer(int j) {
 }
 
 double Evaluator::AffinityViolations(const std::vector<int>& assignment) const {
-  const int num_slots = acct_.num_slots();
+  // Slots are workload-major, so both terms scan only the contiguous slot
+  // range(s) of the workloads involved — O(sum r_w^2 + sum pairs) instead
+  // of the old all-pairs O(num_slots^2). Every addition is an exact +1,
+  // so the total matches the historical scan bit-for-bit.
   double units = 0;
+  const int num_workloads = static_cast<int>(workload_slot_begin_.size()) - 1;
   // Replica anti-affinity: two slots of the same workload on one server.
-  for (int a = 0; a < num_slots; ++a) {
-    for (int b = a + 1; b < num_slots; ++b) {
-      if (assignment[a] == assignment[b] &&
-          acct_.WorkloadOfSlot(a) == acct_.WorkloadOfSlot(b)) {
-        units += 1;
+  for (int w = 0; w < num_workloads; ++w) {
+    for (int a = workload_slot_begin_[w]; a < workload_slot_begin_[w + 1]; ++a) {
+      for (int b = a + 1; b < workload_slot_begin_[w + 1]; ++b) {
+        if (assignment[a] == assignment[b]) units += 1;
       }
     }
   }
-  // Explicit anti-affinity pairs.
+  // Explicit anti-affinity pairs (a == b co-location counts when a pair
+  // names the same workload twice, as it always has).
   for (const auto& [wa, wb] : problem_.anti_affinity) {
-    for (int a = 0; a < num_slots; ++a) {
-      if (acct_.WorkloadOfSlot(a) != wa) continue;
-      for (int b = 0; b < num_slots; ++b) {
-        if (acct_.WorkloadOfSlot(b) == wb && assignment[a] == assignment[b]) {
-          units += 1;
-        }
+    if (wa < 0 || wa >= num_workloads || wb < 0 || wb >= num_workloads) continue;
+    for (int a = workload_slot_begin_[wa]; a < workload_slot_begin_[wa + 1]; ++a) {
+      for (int b = workload_slot_begin_[wb]; b < workload_slot_begin_[wb + 1]; ++b) {
+        if (assignment[a] == assignment[b]) units += 1;
       }
     }
   }
@@ -283,17 +302,17 @@ void Evaluator::Load(const std::vector<int>& assignment) {
 }
 
 double Evaluator::SlotAffinity(int slot, int server) const {
-  const int num_slots = acct_.num_slots();
+  // Only the slot's own workload and its anti-affinity partners can
+  // contribute, so scan just those contiguous slot ranges. All additions
+  // are exact +1s — identical units to the historical all-slot scan.
   double units = 0;
   const int w = acct_.WorkloadOfSlot(slot);
-  for (int b = 0; b < num_slots; ++b) {
-    if (b == slot || assignment_[b] != server) continue;
-    if (acct_.WorkloadOfSlot(b) == w) units += 1;
-    for (const auto& [wa, wb] : problem_.anti_affinity) {
-      if ((acct_.WorkloadOfSlot(b) == wa && w == wb) ||
-          (acct_.WorkloadOfSlot(b) == wb && w == wa)) {
-        units += 1;
-      }
+  for (int b = workload_slot_begin_[w]; b < workload_slot_begin_[w + 1]; ++b) {
+    if (b != slot && assignment_[b] == server) units += 1;
+  }
+  for (int p : affinity_partners_[w]) {
+    for (int b = workload_slot_begin_[p]; b < workload_slot_begin_[p + 1]; ++b) {
+      if (b != slot && assignment_[b] == server) units += 1;
     }
   }
   return units;
@@ -313,6 +332,38 @@ double Evaluator::MoveDelta(int slot, int to) const {
            (kViolationBase + kViolationScale * kAffinityUnit);
   delta += SlotMigrationCost(slot, to) - SlotMigrationCost(slot, from);
   return delta;
+}
+
+void Evaluator::MoveDeltaBatch(int slot, const std::vector<int>& targets,
+                               std::vector<double>* deltas) const {
+  tl_eval_ops.move_delta_ops += static_cast<int64_t>(targets.size());
+  deltas->resize(targets.size());
+  if (targets.empty()) return;
+  const int from = assignment_[slot];
+  const int pin = acct_.PinOfSlot(slot);
+  // From-side terms do not depend on the target. FP note: the scalar
+  // MoveDelta evaluates ((A - B) + C) - D left to right; base = A - B
+  // keeps that grouping, so each batched delta is bit-identical to its
+  // scalar counterpart.
+  const double base = WhatIfCost(from, slot, -1.0) - server_cost_[from];
+  const double aff_from = SlotAffinity(slot, from);
+  const double mig_from = SlotMigrationCost(slot, from);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const int to = targets[i];
+    if (to == from) {
+      (*deltas)[i] = 0.0;
+      continue;
+    }
+    if (pin >= 0 && to != pin) {
+      (*deltas)[i] = kPinPenalty;
+      continue;
+    }
+    double delta = base + WhatIfCost(to, slot, +1.0) - server_cost_[to];
+    delta += (SlotAffinity(slot, to) - aff_from) *
+             (kViolationBase + kViolationScale * kAffinityUnit);
+    delta += SlotMigrationCost(slot, to) - mig_from;
+    (*deltas)[i] = delta;
+  }
 }
 
 void Evaluator::ApplyMove(int slot, int to) {
@@ -370,10 +421,9 @@ int Evaluator::MovesFromCurrent() const {
 }
 
 int Assignment::ServersUsed() const {
-  std::vector<int> seen;
-  for (int s : server_of_slot) {
-    if (std::find(seen.begin(), seen.end(), s) == seen.end()) seen.push_back(s);
-  }
+  std::vector<int> seen = server_of_slot;
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
   return static_cast<int>(seen.size());
 }
 

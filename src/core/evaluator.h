@@ -91,6 +91,13 @@ class Evaluator {
   const std::vector<int>& assignment() const { return assignment_; }
   /// Objective delta if `slot` moved to `to` (no state change).
   double MoveDelta(int slot, int to) const;
+  /// Batched MoveDelta: deltas->at(i) is the objective delta of moving
+  /// `slot` to targets[i], bit-identical to calling MoveDelta per target.
+  /// The from-side what-if cost, affinity, and migration terms are
+  /// computed once and shared across the batch, so each extra target
+  /// costs one pass over the accountant's SoA rows instead of two.
+  void MoveDeltaBatch(int slot, const std::vector<int>& targets,
+                      std::vector<double>* deltas) const;
   /// Applies a move and updates the cache.
   void ApplyMove(int slot, int to);
   /// True when the loaded assignment violates no constraint.
@@ -116,6 +123,9 @@ class Evaluator {
   };
   /// Snapshot of server `j`'s load (requires Load()).
   ServerLoad GetServerLoad(int j) const;
+  /// Cached constraint excess of server `j` (requires Load()). Cheap
+  /// enough for the sharded solver's rebalancer to rank donors by.
+  double ServerViolation(int j) const { return server_violation_[j]; }
 
   /// Capacities after headroom, per server (machine-class dependent).
   double cpu_capacity(int server = 0) const {
@@ -167,6 +177,16 @@ class Evaluator {
   bool has_migration_ = false;
   std::vector<int> slot_current_;       // incumbent server per slot
   std::vector<double> slot_move_cost_;  // per-slot move cost
+
+  // Affinity indexes: slots of workload w occupy
+  // [workload_slot_begin_[w], workload_slot_begin_[w+1]) — replicas are
+  // laid out workload-major — and affinity_partners_[w] lists the partner
+  // workload of every anti-affinity pair touching w (with multiplicity,
+  // so duplicate pairs keep their historical double count). Both exist so
+  // affinity scans touch only the relevant slot ranges instead of every
+  // slot; the counted units are identical.
+  std::vector<int> workload_slot_begin_;
+  std::vector<std::vector<int>> affinity_partners_;
 
   // Incremental cache.
   std::vector<int> assignment_;

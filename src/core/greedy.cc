@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "core/load_accountant.h"
@@ -16,6 +17,8 @@ namespace {
 /// placement mask) plus shorthand capacity accessors. A non-null `allowed`
 /// further restricts both orders to that subset (the cost-based
 /// dimensioner's budget-selected multiset).
+std::vector<int> CheapFirstOrder(const LoadAccountant& acct);
+
 struct FleetView {
   const LoadAccountant& acct;
   int cap = 0;
@@ -24,13 +27,16 @@ struct FleetView {
 
   explicit FleetView(const LoadAccountant& accountant,
                      const std::vector<int>* allowed_servers = nullptr)
+      : FleetView(accountant, CheapFirstOrder(accountant), allowed_servers) {}
+
+  /// Precomputed-order variant: `cheap_order` is CheapFirstOrder() of the
+  /// same accountant, possibly cached across calls (GreedyPackContext).
+  /// Restriction of a stable-sorted order preserves its relative order, so
+  /// the restricted result matches sorting the restricted set.
+  FleetView(const LoadAccountant& accountant, std::vector<int> cheap_order,
+            const std::vector<int>* allowed_servers)
       : acct(accountant), cap(accountant.num_servers()), allowed(allowed_servers) {
-    // Cheapest class first ("fill cheap classes first"); stable, so the
-    // uniform fleet keeps the classic ascending-index open order.
-    open_order = Restrict(acct.PlacableServers());
-    std::stable_sort(open_order.begin(), open_order.end(), [&](int a, int b) {
-      return Weight(a) < Weight(b);
-    });
+    open_order = Restrict(std::move(cheap_order));
   }
 
   /// Alternative open order: best capacity-per-cost first (a scale-up
@@ -85,6 +91,50 @@ double PeakOf(const double* v, int n) {
   double peak = 0.0;
   for (int t = 0; t < n; ++t) peak = std::max(peak, v[t]);
   return peak;
+}
+
+/// Cheapest class first ("fill cheap classes first"); stable, so the
+/// uniform fleet keeps the classic ascending-index open order.
+std::vector<int> CheapFirstOrder(const LoadAccountant& acct) {
+  std::vector<int> order = acct.PlacableServers();
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return acct.ClassWeight(acct.ClassOfServer(a)) <
+           acct.ClassWeight(acct.ClassOfServer(b));
+  });
+  return order;
+}
+
+/// Hardest-first slot order: biggest peak normalized by the best class's
+/// capacity (the GreedyMultiResource packing order).
+std::vector<int> HardestFirstSlotOrder(const ConsolidationProblem& problem,
+                                       const LoadAccountant& acct) {
+  const int num_slots = acct.num_slots();
+  const int samples = acct.num_samples();
+  const bool has_disk = acct.AnyDiskActive();
+  const sim::EffectiveCapacity best_class = acct.BestClass();
+  const double ref_cpu_cap =
+      best_class.cpu_cores - problem.per_instance_cpu_overhead_cores;
+  const double ref_ram_cap =
+      best_class.ram_bytes -
+      static_cast<double>(problem.instance_ram_overhead_bytes);
+  std::vector<int> order(num_slots);
+  std::iota(order.begin(), order.end(), 0);
+  auto difficulty = [&](int s) {
+    double d = PeakOf(acct.SlotSeries(Axis::kCpu, s), samples) /
+               std::max(1e-9, ref_cpu_cap);
+    d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRam, s), samples) /
+                        std::max(1e-9, ref_ram_cap));
+    if (has_disk) {
+      const double cap = acct.BestDiskCapacity(acct.SlotWs(s));
+      if (cap > 0) {
+        d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRate, s), samples) / cap);
+      }
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return difficulty(a) > difficulty(b); });
+  return order;
 }
 
 }  // namespace
@@ -296,12 +346,39 @@ GreedyResult GreedyBaseline(const ConsolidationProblem& problem, int max_servers
   return best;
 }
 
+GreedyPackContext::GreedyPackContext(const ConsolidationProblem& problem,
+                                     int max_servers)
+    : problem_(problem),
+      acct_(std::make_unique<LoadAccountant>(
+          problem, std::max(1, problem.ServerCap(max_servers)),
+          /*track_server_load=*/false)) {
+  if (acct_->num_slots() > 0) {
+    slot_order_ = HardestFirstSlotOrder(problem_, *acct_);
+  }
+  cheap_order_ = CheapFirstOrder(*acct_);
+  dense_order_ = DenseServerOrder(*acct_);
+}
+
+GreedyPackContext::~GreedyPackContext() = default;
+
+Evaluator& GreedyPackContext::compare_evaluator() {
+  if (compare_ev_ == nullptr) {
+    compare_ev_ = std::make_unique<Evaluator>(problem_, acct_->num_servers());
+  }
+  return *compare_ev_;
+}
+
 Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_servers,
                                bool* feasible,
                                const std::vector<int>* allowed_servers) {
-  const LoadAccountant acct(problem,
-                            std::max(1, problem.ServerCap(max_servers)),
-                            /*track_server_load=*/false);
+  GreedyPackContext ctx(problem, max_servers);
+  return GreedyMultiResource(ctx, feasible, allowed_servers);
+}
+
+Assignment GreedyMultiResource(GreedyPackContext& ctx, bool* feasible,
+                               const std::vector<int>* allowed_servers) {
+  const ConsolidationProblem& problem = ctx.problem_;
+  const LoadAccountant& acct = *ctx.acct_;
   const int num_slots = acct.num_slots();
   Assignment out;
   out.server_of_slot.assign(num_slots, 0);
@@ -310,34 +387,12 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
     return out;
   }
   const int samples = acct.num_samples();
-  const FleetView fleet(acct, allowed_servers);
+  const FleetView fleet(acct, ctx.cheap_order_, allowed_servers);
 
   const double cpu_overhead = problem.per_instance_cpu_overhead_cores;
   const double ram_overhead =
       static_cast<double>(problem.instance_ram_overhead_bytes);
-  const bool has_disk = acct.AnyDiskActive();
-
-  // Hardest-first: biggest peak normalized by the best class's capacity.
-  const sim::EffectiveCapacity best_class = acct.BestClass();
-  const double ref_cpu_cap = best_class.cpu_cores - cpu_overhead;
-  const double ref_ram_cap = best_class.ram_bytes - ram_overhead;
-  std::vector<int> order(num_slots);
-  std::iota(order.begin(), order.end(), 0);
-  auto difficulty = [&](int s) {
-    double d = PeakOf(acct.SlotSeries(Axis::kCpu, s), samples) /
-               std::max(1e-9, ref_cpu_cap);
-    d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRam, s), samples) /
-                        std::max(1e-9, ref_ram_cap));
-    if (has_disk) {
-      const double cap = acct.BestDiskCapacity(acct.SlotWs(s));
-      if (cap > 0) {
-        d = std::max(d, PeakOf(acct.SlotSeries(Axis::kRate, s), samples) / cap);
-      }
-    }
-    return d;
-  };
-  std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return difficulty(a) > difficulty(b); });
+  const std::vector<int>& order = ctx.slot_order_;
 
   Bin empty_bin;
   empty_bin.Open(samples);
@@ -445,8 +500,8 @@ Assignment GreedyMultiResource(const ConsolidationProblem& problem, int max_serv
     // (scale-up) open orders reach very different packings; keep the one
     // the objective prefers. Never runs on uniform fleets, where the two
     // orders coincide — the classic path stays bit-identical.
-    auto [dense_assignment, dense_clean] = pack(fleet.DenseOrder());
-    Evaluator ev(problem, fleet.cap);
+    auto [dense_assignment, dense_clean] = pack(fleet.Restrict(ctx.dense_order_));
+    Evaluator& ev = ctx.compare_evaluator();
     if (ev.Evaluate(dense_assignment) < ev.Evaluate(assignment)) {
       assignment = std::move(dense_assignment);
       clean = dense_clean;

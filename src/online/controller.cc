@@ -114,13 +114,24 @@ int ConsolidationController::RunToEnd(TelemetryFeed* feed) {
 }
 
 bool ConsolidationController::DrainHighestServer() {
-  if (active_servers_ <= 1) return false;
+  if (active_servers_ <= 1) {
+    last_drain_refusal_ = "refusing node drain: only one server remains";
+    return false;
+  }
   // The relabel below swaps server indices, which is only meaning-preserving
   // when every server is the same machine. Heterogeneous fleets drain whole
   // classes instead (DrainClass).
-  if (!config_.base.fleet.Uniform()) return false;
+  if (!config_.base.fleet.Uniform()) {
+    last_drain_refusal_ =
+        "refusing node drain: fleet is not uniform (" +
+        config_.base.fleet.Render() +
+        "); the highest-server relabel assumes identical machines — use "
+        "DrainClass(<class_index>) to retire a hardware generation";
+    return false;
+  }
   if (assignment_.empty()) {  // nothing placed yet: just shrink the fleet
     --active_servers_;
+    last_drain_refusal_.clear();
     return true;
   }
   // Drain the highest-indexed server *in use*. Machines are homogeneous, so
@@ -133,7 +144,12 @@ bool ConsolidationController::DrainHighestServer() {
   // Pins name physical servers; relabeling would silently retarget them and
   // evacuating a pinned workload is never valid — refuse.
   for (const auto& w : config_.base.workloads) {
-    if (w.pinned_server == drained || w.pinned_server == top) return false;
+    if (w.pinned_server == drained || w.pinned_server == top) {
+      last_drain_refusal_ = "refusing node drain: workload '" + w.name +
+                            "' is pinned to server " +
+                            std::to_string(w.pinned_server);
+      return false;
+    }
   }
   for (int& s : assignment_) {
     if (s == drained) {
@@ -143,14 +159,24 @@ bool ConsolidationController::DrainHighestServer() {
     }
   }
   --active_servers_;
+  last_drain_refusal_.clear();
   RunControl("node-drain");
   return true;
 }
 
 bool ConsolidationController::DrainClass(int class_index) {
   sim::FleetSpec& fleet = config_.base.fleet;
-  if (class_index < 0 || class_index >= fleet.num_classes()) return false;
-  if (fleet.classes[class_index].drained) return false;
+  if (class_index < 0 || class_index >= fleet.num_classes()) {
+    last_drain_refusal_ = "refusing class drain: class index " +
+                          std::to_string(class_index) + " is out of range";
+    return false;
+  }
+  if (fleet.classes[class_index].drained) {
+    last_drain_refusal_ = "refusing class drain: class '" +
+                          fleet.classes[class_index].spec.name +
+                          "' is already drained";
+    return false;
+  }
   // At least one usable (non-drained) server must remain within the cap.
   bool usable_remains = false;
   for (int j = 0; j < active_servers_; ++j) {
@@ -160,15 +186,24 @@ bool ConsolidationController::DrainClass(int class_index) {
       break;
     }
   }
-  if (!usable_remains) return false;
+  if (!usable_remains) {
+    last_drain_refusal_ =
+        "refusing class drain: no usable server would remain";
+    return false;
+  }
   // Evacuating a pinned workload is never valid: refuse, like the
   // single-server drain does.
   for (const auto& w : config_.base.workloads) {
     if (w.pinned_server >= 0 && fleet.ClassOf(w.pinned_server) == class_index) {
+      last_drain_refusal_ = "refusing class drain: workload '" + w.name +
+                            "' is pinned to server " +
+                            std::to_string(w.pinned_server) + " of class '" +
+                            fleet.classes[class_index].spec.name + "'";
       return false;
     }
   }
   fleet.classes[class_index].drained = true;
+  last_drain_refusal_.clear();
   if (assignment_.empty()) return true;  // nothing placed yet
   // Server indices stay stable (unlike the homogeneous relabel trick): the
   // evaluator now penalizes every slot left on the class, so the forced
@@ -271,6 +306,35 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
     budget.seed_assignment = std::move(seed);
   }
 
+  // Shard-routed drift repair: a drift re-solve names one workload, so
+  // before paying for the full portfolio, re-solve just the fleet shard
+  // that owns it and keep every other slot where it is. Falls through to
+  // the portfolio (with identical seeds to the gate-off path) when the
+  // repair does not pay off.
+  if (config_.shard_repair && config_.migration_aware && !before.empty() &&
+      reason.rfind("drift:", 0) == 0) {
+    const std::string name = reason.substr(6);
+    int drifted = -1;
+    for (size_t w = 0; w < config_.base.workloads.size(); ++w) {
+      if (config_.base.workloads[w].name == name) {
+        drifted = static_cast<int>(w);
+        break;
+      }
+    }
+    core::ConsolidationPlan repaired;
+    if (drifted >= 0 &&
+        solve::ShardRepair(*problem, budget, config_.shard,
+                           MixSeed(config_.seed, solves_,
+                                   static_cast<int>(config_.solvers.size())),
+                           drifted, &repaired)) {
+      ++solves_;
+      EmitStage(obs_resolve_, /*value=*/-2);  // -2 marks a shard repair
+      if (config_.sink != nullptr) config_.sink->Count("controller.shard_repairs");
+      AdoptPlan(*problem, reason, "shard-repair", repaired, before);
+      return;
+    }
+  }
+
   std::vector<solve::PortfolioSolverSpec> specs;
   specs.reserve(config_.solvers.size());
   for (size_t i = 0; i < config_.solvers.size(); ++i) {
@@ -297,12 +361,17 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
     return;
   }
 
-  const core::ConsolidationPlan& plan = result.best;
+  AdoptPlan(*problem, reason, result.winner, result.best, before);
+}
 
+void ConsolidationController::AdoptPlan(
+    const core::ConsolidationProblem& problem, const std::string& reason,
+    const std::string& winner, const core::ConsolidationPlan& plan,
+    const std::vector<int>& before) {
   ControlEvent event;
   event.step = step_;
   event.reason = reason;
-  event.winner = result.winner;
+  event.winner = winner;
   event.servers_before =
       before.empty() ? 0 : core::Assignment{before}.ServersUsed();
   event.servers_after = plan.servers_used;
@@ -314,7 +383,7 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
 
   MigrationPlan migration;
   if (!before.empty()) {
-    migration = planner_.Plan(*problem, before, plan.assignment.server_of_slot);
+    migration = planner_.Plan(problem, before, plan.assignment.server_of_slot);
     event.moves = migration.total_moves();
     event.stages = static_cast<int>(migration.stages.size());
     event.migration_safe = migration.safe;

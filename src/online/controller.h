@@ -31,6 +31,7 @@
 #include "online/streaming_profile.h"
 #include "online/telemetry.h"
 #include "solve/portfolio.h"
+#include "solve/shard.h"
 
 namespace kairos::online {
 
@@ -59,6 +60,17 @@ struct ControllerConfig {
   /// the cold-re-solve baseline (fresh solve, no move penalty).
   bool migration_aware = true;
   double migration_cost_weight = 25.0;
+
+  /// Shard-routed drift repair: when a drift re-solve names a single
+  /// workload, first re-solve only the fleet shard owning it
+  /// (solve::ShardRepair, warm-started from the incumbent) and adopt the
+  /// stitched plan when it scores no worse; fall back to the full
+  /// portfolio otherwise. Off by default — existing transcripts stay
+  /// byte-identical. Requires migration_aware (the repair stitches around
+  /// the incumbent placement).
+  bool shard_repair = false;
+  /// Partitioner knobs for the shard-routed repair.
+  solve::ShardOptions shard;
 
   /// Portfolio raced at each re-solve (registry names).
   std::vector<std::string> solvers = {"polish", "greedy", "anneal", "tabu"};
@@ -137,6 +149,11 @@ class ConsolidationController {
   /// workload is pinned to a server of the class.
   bool DrainClass(int class_index);
 
+  /// Why the last Drain* call refused (empty after a successful drain, or
+  /// before any drain was attempted). The heterogeneous-fleet refusal of
+  /// DrainHighestServer names the class mix and points at DrainClass.
+  const std::string& last_drain_refusal() const { return last_drain_refusal_; }
+
   /// Incumbent placement (empty before the bootstrap solve).
   const std::vector<int>& assignment() const { return assignment_; }
   int active_servers() const { return active_servers_; }
@@ -166,6 +183,13 @@ class ConsolidationController {
  private:
   void RunControl(const std::string& forced_reason);
   void Resolve(core::ConsolidationProblem* problem, const std::string& reason);
+  /// Adopts `plan` as the incumbent: control event, staged migration plan,
+  /// stage timeline, counters, drift rebase. The shared tail of the full
+  /// portfolio re-solve and the shard-routed repair.
+  void AdoptPlan(const core::ConsolidationProblem& problem,
+                 const std::string& reason, const std::string& winner,
+                 const core::ConsolidationPlan& plan,
+                 const std::vector<int>& before);
   std::vector<monitor::ProfileStats> CurrentStats() const;
 
   /// Lazily interns the controller's trace ids (no-op without a sink).
@@ -206,6 +230,7 @@ class ConsolidationController {
   int step_ = -1;
   int active_servers_ = 0;
   int solves_ = 0;
+  std::string last_drain_refusal_;
   std::vector<int> assignment_;
   std::vector<ControlEvent> history_;
   std::vector<MigrationPlan> migration_plans_;

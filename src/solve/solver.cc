@@ -7,6 +7,7 @@
 #include "core/greedy.h"
 #include "solve/adapters.h"
 #include "solve/annealing.h"
+#include "solve/shard.h"
 #include "solve/tabu.h"
 
 namespace kairos::solve {
@@ -101,6 +102,9 @@ SolverRegistry& SolverRegistry::Global() {
     });
     r->Register("polish", [](uint64_t seed) {
       return std::make_unique<WarmStartPolishSolver>(seed);
+    });
+    r->Register("sharded", [](uint64_t seed) {
+      return std::make_unique<ShardedSolver>(seed);
     });
     return r;
   }();

@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace kairos::util {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, threads);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads - 1);
+  for (int i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int W = num_workers();
+  if (W == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    gen = ++generation_;
+    job_ = &fn;
+  }
+  // Deal task i to worker i % W. Stamping each queue with the new
+  // generation invalidates any leftovers a straggler might still see.
+  for (int w = 0; w < W; ++w) {
+    std::lock_guard<std::mutex> lock(workers_[w]->mu);
+    workers_[w]->queue.clear();
+    workers_[w]->gen = gen;
+  }
+  remaining_.store(n, std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    Worker& w = *workers_[i % W];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(i);
+  }
+  job_cv_.notify_all();
+
+  RunTasks(0, gen, fn);
+
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::WorkerLoop(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    uint64_t gen = 0;
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = gen = generation_;
+      job = job_;
+    }
+    if (job != nullptr) RunTasks(id, gen, *job);
+  }
+}
+
+void ThreadPool::RunTasks(int id, uint64_t gen, const std::function<void(int)>& fn) {
+  const int W = num_workers();
+  for (;;) {
+    int task = -1;
+    {
+      Worker& own = *workers_[id];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.gen == gen && !own.queue.empty()) {
+        task = own.queue.front();
+        own.queue.pop_front();
+      }
+    }
+    if (task < 0) {
+      // Steal from the back of victims in fixed id order.
+      for (int d = 1; d < W && task < 0; ++d) {
+        Worker& victim = *workers_[(id + d) % W];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.gen == gen && !victim.queue.empty()) {
+          task = victim.queue.back();
+          victim.queue.pop_back();
+          steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (task < 0) return;
+    fn(task);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace kairos::util

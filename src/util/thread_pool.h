@@ -1,0 +1,84 @@
+// Deterministic work-stealing thread pool for shard-parallel solving.
+//
+// Design constraints (the sharded-solver determinism contract):
+//   - fixed worker count, decided at construction — never grows with load;
+//   - per-worker deques: task i of a ParallelFor is dealt to worker i % W,
+//     owners pop their own queue from the front (FIFO over their share),
+//     thieves steal from the back of victims in a fixed order (worker
+//     id+1, id+2, ... wrapping) — so the *schedule* may vary with timing
+//     but the steal order per worker never does;
+//   - tasks must be independent and write only their own result slot.
+//     Under that discipline the set of executed tasks — and therefore any
+//     index-merged result — is identical at 1, 2, 4, or 8 workers no
+//     matter how the steals interleave.
+//
+// The calling thread participates as worker 0, so a pool of W workers
+// spawns only W-1 threads and ThreadPool(1) runs everything serially on
+// the caller with no synchronization at all.
+#ifndef KAIROS_UTIL_THREAD_POOL_H_
+#define KAIROS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kairos::util {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete. The
+  /// caller executes tasks too (as worker 0). Not reentrant: fn must not
+  /// call ParallelFor on the same pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Successful steals since construction (diagnostic only — the count
+  /// depends on timing, results never do).
+  uint64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  // One deque per worker. `gen` stamps which ParallelFor the queued tasks
+  // belong to: a straggler from the previous call sees a newer stamp and
+  // backs off instead of running fresh tasks against its stale closure.
+  struct Worker {
+    std::mutex mu;
+    std::deque<int> queue;
+    uint64_t gen = 0;
+  };
+
+  void WorkerLoop(int id);
+  void RunTasks(int id, uint64_t gen, const std::function<void(int)>& fn);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(int)>* job_ = nullptr;
+
+  std::atomic<int> remaining_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace kairos::util
+
+#endif  // KAIROS_UTIL_THREAD_POOL_H_

@@ -237,6 +237,45 @@ TEST(EvaluatorMigrationTest, MoveDeltaMatchesReload) {
   EXPECT_EQ(ev.MovesFromCurrent(), 2);
 }
 
+TEST(EvaluatorBatchTest, MoveDeltaBatchBitIdenticalToScalar) {
+  // A problem exercising every delta term at once: pins, anti-affinity,
+  // replicas, and a migration penalty. The batch path must reproduce the
+  // scalar MoveDelta bit for bit (same FP association), not just closely.
+  ConsolidationProblem prob = SmallProblem(8, 0.9, 6.0);
+  prob.workloads[1].replicas = 2;
+  prob.workloads[2].pinned_server = 1;
+  prob.anti_affinity = {{3, 4}};
+  prob.current_assignment = {0, 1, 1, 1, 2, 2, 0, 3, 3};
+  prob.migration_cost_weight = 25.0;
+
+  const int cap = 4;
+  Evaluator ev(prob, cap);
+  ev.Load({0, 1, 2, 1, 2, 3, 0, 1, 3});
+
+  std::vector<int> targets(cap);
+  for (int j = 0; j < cap; ++j) targets[j] = j;
+  std::vector<double> deltas;
+  for (int slot = 0; slot < ev.num_slots(); ++slot) {
+    ev.MoveDeltaBatch(slot, targets, &deltas);
+    ASSERT_EQ(deltas.size(), targets.size());
+    for (int i = 0; i < cap; ++i) {
+      EXPECT_EQ(deltas[i], ev.MoveDelta(slot, targets[i]))
+          << "slot " << slot << " -> " << targets[i];
+    }
+  }
+
+  // Still exact after incremental mutation (dirty-list scratch reuse).
+  ev.ApplyMove(0, 3);
+  ev.ApplyMove(5, 0);
+  for (int slot = 0; slot < ev.num_slots(); ++slot) {
+    ev.MoveDeltaBatch(slot, targets, &deltas);
+    for (int i = 0; i < cap; ++i) {
+      EXPECT_EQ(deltas[i], ev.MoveDelta(slot, targets[i]))
+          << "post-move slot " << slot << " -> " << targets[i];
+    }
+  }
+}
+
 TEST(EvaluatorMigrationTest, ServerSavingsStillDominateMoves) {
   // Consolidating 2 -> 1 servers saves kServerCost, which must beat moving
   // every slot at the default weight.

@@ -164,6 +164,34 @@ TEST(CostBudgetDimensioningTest, DimensionerChoosesRaidMixUnderBudget) {
   EXPECT_TRUE(ev.IsFeasible());
 }
 
+TEST(CostBudgetDimensioningTest, ProbeContextReuseBitIdenticalToRebuild) {
+  // reuse_probe_context is a latency lever only: the cached full-cap
+  // evaluator and greedy packing context must reproduce the per-probe
+  // rebuild bit for bit — same plan, same chosen mix, same probe count.
+  trace::FleetScenario scenario;
+  const core::ConsolidationProblem problem = RaidProblem(&scenario);
+  const solve::SolveBudget budget = TestBudget();
+
+  core::EngineOptions cached =
+      EngineOptionsFor(budget, core::DimensioningMode::kCostBudget);
+  cached.reuse_probe_context = true;
+  core::EngineOptions rebuilt = cached;
+  rebuilt.reuse_probe_context = false;
+
+  const core::ConsolidationPlan with_cache =
+      core::ConsolidationEngine(problem, cached).Solve();
+  const core::ConsolidationPlan without_cache =
+      core::ConsolidationEngine(problem, rebuilt).Solve();
+
+  EXPECT_EQ(with_cache.assignment.server_of_slot,
+            without_cache.assignment.server_of_slot);
+  EXPECT_EQ(with_cache.objective, without_cache.objective);
+  EXPECT_EQ(with_cache.fleet_cost, without_cache.fleet_cost);
+  EXPECT_EQ(with_cache.chosen_class_counts, without_cache.chosen_class_counts);
+  EXPECT_EQ(with_cache.budget_probes, without_cache.budget_probes);
+  EXPECT_GT(with_cache.budget_probes, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Uniform fleets: the legacy path, byte for byte
 // ---------------------------------------------------------------------------

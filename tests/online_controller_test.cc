@@ -464,6 +464,48 @@ TEST(ControllerTest, DrainRefusedWhenPinTargetsAffectedServer) {
 
   EXPECT_FALSE(controller.DrainHighestServer());
   EXPECT_EQ(controller.active_servers(), 4);  // fleet unchanged
+  EXPECT_NE(controller.last_drain_refusal().find("pinned"), std::string::npos)
+      << controller.last_drain_refusal();
+}
+
+TEST(ControllerTest, DrainRefusalPointsAtDrainClassOnHeterogeneousFleet) {
+  trace::ScenarioConfig scenario_config;
+  scenario_config.steps = 8;
+  scenario_config.seed = 11;
+  const trace::ScenarioTelemetry scenario =
+      trace::MakeScenario(trace::ScenarioKind::kStable, scenario_config);
+
+  ControllerConfig config = MakeControllerConfig(scenario, true);
+  config.base.fleet = sim::FleetSpec();
+  config.base.fleet.AddClass(sim::MachineSpec::Server1(), 2, 1.0)
+      .AddClass(sim::MachineSpec::ConsolidationTarget(), 2, 1.5);
+  ConsolidationController controller(config);
+
+  EXPECT_FALSE(controller.DrainHighestServer());
+  // The refusal explains itself: it names the class mix and the operation
+  // that *does* apply to a mixed-generation fleet.
+  const std::string& why = controller.last_drain_refusal();
+  EXPECT_NE(why.find("not uniform"), std::string::npos) << why;
+  EXPECT_NE(why.find("DrainClass"), std::string::npos) << why;
+  EXPECT_NE(why.find(config.base.fleet.Render()), std::string::npos) << why;
+  EXPECT_EQ(controller.active_servers(), 4);  // fleet unchanged
+}
+
+TEST(ControllerTest, ShardRepairGateKeepsHistoryDeterministic) {
+  const trace::ScenarioTelemetry scenario = DiurnalScenario();
+  ControllerConfig config = MakeControllerConfig(scenario, true);
+  config.shard_repair = true;
+  config.shard.num_shards = 2;
+
+  config.threads = 1;
+  const std::string one_thread = RunScenarioHistory(scenario, config);
+  config.threads = 4;
+  const std::string four_threads = RunScenarioHistory(scenario, config);
+  const std::string four_again = RunScenarioHistory(scenario, config);
+
+  EXPECT_FALSE(one_thread.empty());
+  EXPECT_EQ(one_thread, four_threads);
+  EXPECT_EQ(four_threads, four_again);
 }
 
 TEST(ControllerTest, StableTrafficNeverResolvesAfterBootstrap) {

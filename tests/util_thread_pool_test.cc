@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kairos::util {
+namespace {
+
+TEST(ThreadPoolTest, WorkerCountDefaultsAndClamps) {
+  EXPECT_GE(ThreadPool(0).num_workers(), 1);
+  EXPECT_GE(ThreadPool(-3).num_workers(), 1);
+  EXPECT_EQ(ThreadPool(1).num_workers(), 1);
+  EXPECT_EQ(ThreadPool(4).num_workers(), 4);
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnceUnderContention) {
+  constexpr int kTasks = 1000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kTasks, [&](int i) {
+    // Uneven task weights force steals on multi-core hosts.
+    volatile double sink = 0;
+    for (int k = 0; k < (i % 7) * 50; ++k) sink += k * 0.5;
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, IndexMergedResultsMatchSerialAtAnyWorkerCount) {
+  constexpr int kTasks = 257;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<long> out(kTasks, 0);
+    pool.ParallelFor(kTasks, [&](int i) { out[i] = 31L * i * i + 7 * i; });
+    return out;
+  };
+  const std::vector<long> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPoolTest, ReusedAcrossGenerationsWithoutStaleTasks) {
+  // Back-to-back ParallelFor calls on one pool: a straggler from call k
+  // must never run a task against call k+1's closure.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    const int n = 50 + round;
+    pool.ParallelFor(n, [&](int i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndNegativeRangesAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int) { calls.fetch_add(1); });
+  pool.ParallelFor(-5, [&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsSeriallyOnCallerWithoutSteals) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(16, [&](int i) { order.push_back(i); });
+  // Worker 0 owns every task and pops FIFO: strict submission order.
+  std::vector<int> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(pool.steal_count(), 0u);
+}
+
+}  // namespace
+}  // namespace kairos::util
