@@ -15,6 +15,9 @@
 #include "db/flusher.h"
 #include "model/analytic.h"
 #include "obs/sink.h"
+#include "online/estimators.h"
+#include "online/ingest.h"
+#include "online/streaming_profile.h"
 #include "opt/direct.h"
 #include "sim/disk.h"
 #include "util/rng.h"
@@ -244,6 +247,78 @@ void BM_EngineProbeLoop(benchmark::State& state) {
   state.SetLabel(attached ? "sink=attached" : "sink=null");
 }
 BENCHMARK(BM_EngineProbeLoop)->Arg(0)->Arg(1);
+
+// --- Telemetry ingestion: the pre-SoA per-sample scalar path vs the
+// --- fused IngestBatch hot loop vs the striped parallel IngestPlane.
+// --- Items processed counts telemetry samples, so the three rates are the
+// --- samples/sec ladder of the online control plane's ingestion tier.
+
+constexpr int kIngestStreams = 8192;
+constexpr size_t kIngestWindow = 12;
+
+std::vector<online::TelemetrySample> MakeIngestStep(int streams) {
+  util::Rng rng(13);
+  std::vector<online::TelemetrySample> step(streams);
+  for (auto& s : step) {
+    s.cpu_cores = rng.Exponential(0.8);
+    s.ram_bytes = rng.Uniform(1e9, 8e9);
+    s.update_rows_per_sec = rng.Exponential(50.0);
+    s.working_set_bytes = rng.Uniform(1e9, 6e9);
+  }
+  return step;
+}
+
+void BM_IngestScalarPerSample(benchmark::State& state) {
+  // One scalar estimator object per stream per signal, updated stream by
+  // stream — the shape the SoA banks replaced.
+  std::vector<online::RollingWindow> cpu(kIngestStreams,
+                                         online::RollingWindow(kIngestWindow, 300.0));
+  std::vector<online::RollingWindow> ram = cpu, rate = cpu;
+  std::vector<online::P2Quantile> p95(kIngestStreams, online::P2Quantile(0.95));
+  std::vector<online::DecayingMax> ws(kIngestStreams, online::DecayingMax(0.995));
+  const auto step = MakeIngestStep(kIngestStreams);
+  for (auto _ : state) {
+    for (int w = 0; w < kIngestStreams; ++w) {
+      const online::TelemetrySample& s = step[w];
+      cpu[w].Push(s.cpu_cores);
+      ram[w].Push(s.ram_bytes);
+      rate[w].Push(s.update_rows_per_sec);
+      p95[w].Add(s.cpu_cores);
+      ws[w].Push(s.working_set_bytes);
+    }
+    benchmark::DoNotOptimize(cpu.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kIngestStreams);
+}
+BENCHMARK(BM_IngestScalarPerSample);
+
+void BM_IngestBatch(benchmark::State& state) {
+  online::StreamingProfileBuilder builder(kIngestStreams, kIngestWindow, 300.0);
+  const auto step = MakeIngestStep(kIngestStreams);
+  for (auto _ : state) {
+    builder.IngestBatch(step.data(), 0, kIngestStreams);
+    builder.CommitStep();
+    benchmark::DoNotOptimize(builder.samples_seen());
+  }
+  state.SetItemsProcessed(state.iterations() * kIngestStreams);
+}
+BENCHMARK(BM_IngestBatch);
+
+void BM_IngestBatchStriped(benchmark::State& state) {
+  online::StreamingProfileBuilder builder(kIngestStreams, kIngestWindow, 300.0);
+  online::IngestOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.stripes = 16;  // enough stripes to feed 8 workers
+  online::IngestPlane plane(&builder, options);
+  const auto step = MakeIngestStep(kIngestStreams);
+  for (auto _ : state) {
+    plane.IngestStep(step);
+    benchmark::DoNotOptimize(builder.samples_seen());
+  }
+  state.SetItemsProcessed(state.iterations() * kIngestStreams);
+  state.SetLabel("threads=" + std::to_string(options.threads));
+}
+BENCHMARK(BM_IngestBatchStriped)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DirectSphere(benchmark::State& state) {
   const int dims = static_cast<int>(state.range(0));

@@ -18,6 +18,27 @@ uint64_t MixSeed(uint64_t seed, int solve_index, int member) {
   return x == 0 ? 1 : x;
 }
 
+/// Accumulates the wall seconds of its scope into `*accum` on destruction.
+/// A null `accum` makes it a no-op that never reads the clock, so the
+/// unobserved path stays clock-free.
+class ScopedAccumTimer {
+ public:
+  explicit ScopedAccumTimer(double* accum) : accum_(accum) {
+    if (accum_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedAccumTimer() {
+    if (accum_ != nullptr) {
+      *accum_ += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    }
+  }
+
+ private:
+  double* accum_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Brackets one control step's evaluator ops on the control thread (the
 /// forecast feasibility check and plan finalization; portfolio workers
 /// bracket their own members). No-op without a sink.
@@ -52,6 +73,15 @@ ConsolidationController::ConsolidationController(const ControllerConfig& config)
     w.os_ram_bytes = util::TimeSeries();
     w.os_write_bytes_per_sec = util::TimeSeries();
   }
+  // The striped ingestion tier is opt-in: the defaults keep the serial
+  // builder path (and its exact observability counter set) untouched.
+  if (config_.ingest_threads > 1 || config_.ingest_stripes > 0) {
+    IngestOptions options;
+    options.threads = config_.ingest_threads;
+    options.stripes = config_.ingest_stripes;
+    ingest_ = std::make_unique<IngestPlane>(&builder_, options);
+    ingest_->AttachSink(config_.sink);
+  }
 }
 
 core::ConsolidationProblem ConsolidationController::SnapshotProblem() const {
@@ -69,28 +99,38 @@ core::ConsolidationProblem ConsolidationController::SnapshotProblem() const {
   return problem;
 }
 
-std::vector<monitor::ProfileStats> ConsolidationController::CurrentStats() const {
-  std::vector<monitor::ProfileStats> stats;
-  stats.reserve(builder_.num_workloads());
-  for (int w = 0; w < builder_.num_workloads(); ++w) stats.push_back(builder_.Stats(w));
+std::vector<monitor::ProfileStats> ConsolidationController::CurrentStats() {
+  std::vector<monitor::ProfileStats> stats(builder_.num_workloads());
+  if (ingest_ != nullptr) {
+    // Each stripe summarizes its own streams into disjoint result slots.
+    ingest_->ForEachStripe([&](int, int begin, int end) {
+      for (int w = begin; w < end; ++w) stats[w] = builder_.Stats(w);
+    });
+  } else {
+    for (int w = 0; w < builder_.num_workloads(); ++w) {
+      stats[w] = builder_.Stats(w);
+    }
+  }
   return stats;
 }
 
 void ConsolidationController::Ingest(const std::vector<TelemetrySample>& samples) {
-  if (config_.sink != nullptr) {
+  const bool observed = config_.sink != nullptr;
+  if (observed) InternObsIds();
+  {
     // Time only the telemetry -> rolling-profile path (the ROADMAP
     // samples/sec KPI measures ingestion, not the re-solves it triggers).
-    InternObsIds();
-    const auto ingest_start = std::chrono::steady_clock::now();
-    builder_.Ingest(samples);
-    ingest_seconds_accum_ += std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - ingest_start)
-                                 .count();
+    ScopedAccumTimer timer(observed ? &ingest_seconds_accum_ : nullptr);
+    if (ingest_ != nullptr) {
+      ingest_->IngestStep(samples);
+    } else {
+      builder_.Ingest(samples);
+    }
+  }
+  if (observed) {
     obs_ingest_seconds_->Set(ingest_seconds_accum_);
     obs_steps_ingested_->Add(1);
     obs_samples_ingested_->Add(static_cast<int64_t>(samples.size()));
-  } else {
-    builder_.Ingest(samples);
   }
   ++step_;
   if (static_cast<int>(builder_.samples_seen()) < config_.warmup_samples) return;
@@ -276,14 +316,47 @@ void ConsolidationController::RunControl(const std::string& forced_reason) {
     ev.Load(assignment_);
     forecast_violation = !ev.IsFeasible();
   }
-  const DriftDecision decision =
-      drift_.Check(step_, CurrentStats(), forecast_violation);
+  const DriftDecision decision = DetectDrift(forecast_violation);
   EmitStage(obs_detect_, decision.resolve ? 1 : 0);
-  if (decision.resolve) Resolve(&problem, decision.reason);
+  if (decision.resolve) Resolve(&problem, decision.reason, &decision);
+}
+
+DriftDecision ConsolidationController::DetectDrift(bool forecast_violation) {
+  if (ingest_ == nullptr) {
+    return drift_.Check(step_, CurrentStats(), forecast_violation);
+  }
+  if (forecast_violation) {
+    DriftDecision decision;
+    decision.resolve = true;
+    decision.reason = "violation-forecast";
+    return decision;
+  }
+  if (!drift_.ScanEnabled(step_, static_cast<size_t>(builder_.num_workloads()))) {
+    return {};
+  }
+  const std::vector<monitor::ProfileStats> stats = CurrentStats();
+  // Each shard scans its own stripe concurrently into a disjoint slot...
+  std::vector<DriftScan> scans(ingest_->stripes().num_stripes());
+  ingest_->ForEachStripe([&](int s, int begin, int end) {
+    scans[s] = drift_.ScanRange(stats, begin, end);
+  });
+  // ...and the fold walks the stripes in order, so first_stream is the
+  // lowest-indexed drifted stream — the same stream (and reason string) the
+  // serial scan reports, at every stripe and thread count.
+  DriftScan folded;
+  int drifted_shards = 0;
+  for (const DriftScan& scan : scans) {
+    if (scan.drifted_streams == 0) continue;
+    if (folded.first_stream < 0) folded.first_stream = scan.first_stream;
+    folded.drifted_streams += scan.drifted_streams;
+    ++drifted_shards;
+  }
+  return drift_.Decide(folded, drifted_shards);
 }
 
 void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
-                                      const std::string& reason) {
+                                      const std::string& reason,
+                                      const DriftDecision* drift) {
   const std::vector<int> before = assignment_;
 
   solve::SolveBudget budget = config_.budget;
@@ -313,25 +386,41 @@ void ConsolidationController::Resolve(core::ConsolidationProblem* problem,
   // repair does not pay off.
   if (config_.shard_repair && config_.migration_aware && !before.empty() &&
       reason.rfind("drift:", 0) == 0) {
-    const std::string name = reason.substr(6);
-    int drifted = -1;
-    for (size_t w = 0; w < config_.base.workloads.size(); ++w) {
-      if (config_.base.workloads[w].name == name) {
-        drifted = static_cast<int>(w);
-        break;
+    if (drift != nullptr && drift->drifted_streams > 1) {
+      // Drift spanning several streams (often several shards) is beyond any
+      // single shard's repair: escalate straight to the global portfolio.
+      // Its seeds below are identical to the gate-off path, so the
+      // escalated re-solve is exactly a full re-solve.
+      if (config_.sink != nullptr) {
+        config_.sink->Count("controller.drift_escalations");
       }
-    }
-    core::ConsolidationPlan repaired;
-    if (drifted >= 0 &&
-        solve::ShardRepair(*problem, budget, config_.shard,
-                           MixSeed(config_.seed, solves_,
-                                   static_cast<int>(config_.solvers.size())),
-                           drifted, &repaired)) {
-      ++solves_;
-      EmitStage(obs_resolve_, /*value=*/-2);  // -2 marks a shard repair
-      if (config_.sink != nullptr) config_.sink->Count("controller.shard_repairs");
-      AdoptPlan(*problem, reason, "shard-repair", repaired, before);
-      return;
+    } else {
+      // The scan already names the drifted stream; fall back to parsing the
+      // reason only for callers that hand in a bare "drift:<name>" string.
+      int drifted = drift != nullptr ? drift->first_stream : -1;
+      if (drifted < 0) {
+        const std::string name = reason.substr(6);
+        for (size_t w = 0; w < config_.base.workloads.size(); ++w) {
+          if (config_.base.workloads[w].name == name) {
+            drifted = static_cast<int>(w);
+            break;
+          }
+        }
+      }
+      core::ConsolidationPlan repaired;
+      if (drifted >= 0 &&
+          solve::ShardRepair(*problem, budget, config_.shard,
+                             MixSeed(config_.seed, solves_,
+                                     static_cast<int>(config_.solvers.size())),
+                             drifted, &repaired)) {
+        ++solves_;
+        EmitStage(obs_resolve_, /*value=*/-2);  // -2 marks a shard repair
+        if (config_.sink != nullptr) {
+          config_.sink->Count("controller.shard_repairs");
+        }
+        AdoptPlan(*problem, reason, "shard-repair", repaired, before);
+        return;
+      }
     }
   }
 

@@ -27,6 +27,7 @@
 #include "core/engine.h"
 #include "core/problem.h"
 #include "online/drift.h"
+#include "online/ingest.h"
 #include "online/migration.h"
 #include "online/streaming_profile.h"
 #include "online/telemetry.h"
@@ -71,6 +72,17 @@ struct ControllerConfig {
   bool shard_repair = false;
   /// Partitioner knobs for the shard-routed repair.
   solve::ShardOptions shard;
+
+  /// Striped parallel ingestion (online/ingest.h). ingest_threads > 1 runs
+  /// each stripe's batch on the deterministic util::ThreadPool;
+  /// ingest_stripes = 0 picks StripeMap::AutoStripes from the stream count.
+  /// The defaults (1/0) keep the legacy serial builder path and its exact
+  /// counter set. Profiles, drift decisions, and RenderHistory() are
+  /// byte-identical across every setting of both knobs: stripes own
+  /// disjoint estimator state, the stripe map never depends on the thread
+  /// count, and all reductions fold in sequential stripe order.
+  int ingest_threads = 1;
+  int ingest_stripes = 0;
 
   /// Portfolio raced at each re-solve (registry names).
   std::vector<std::string> solvers = {"polish", "greedy", "anneal", "tabu"};
@@ -182,7 +194,11 @@ class ConsolidationController {
 
  private:
   void RunControl(const std::string& forced_reason);
-  void Resolve(core::ConsolidationProblem* problem, const std::string& reason);
+  /// `drift` carries the scan detail of a drift-triggered re-solve (null
+  /// for bootstrap/forced/violation reasons): multi-stream drift escalates
+  /// past the shard repair to the full portfolio.
+  void Resolve(core::ConsolidationProblem* problem, const std::string& reason,
+               const DriftDecision* drift = nullptr);
   /// Adopts `plan` as the incumbent: control event, staged migration plan,
   /// stage timeline, counters, drift rebase. The shared tail of the full
   /// portfolio re-solve and the shard-routed repair.
@@ -190,7 +206,11 @@ class ConsolidationController {
                  const std::string& reason, const std::string& winner,
                  const core::ConsolidationPlan& plan,
                  const std::vector<int>& before);
-  std::vector<monitor::ProfileStats> CurrentStats() const;
+  std::vector<monitor::ProfileStats> CurrentStats();
+  /// Drift check for the current step: per-stripe ScanRange on the ingest
+  /// plane folded in stripe order (identical decision to the serial
+  /// DriftDetector::Check), plus shard attribution for escalation.
+  DriftDecision DetectDrift(bool forecast_violation);
 
   /// Lazily interns the controller's trace ids (no-op without a sink).
   void InternObsIds();
@@ -204,6 +224,9 @@ class ConsolidationController {
 
   ControllerConfig config_;
   StreamingProfileBuilder builder_;
+  /// Striped parallel ingestion tier; null when the config keeps the
+  /// legacy serial path (ingest_threads <= 1 and ingest_stripes == 0).
+  std::unique_ptr<IngestPlane> ingest_;
   DriftDetector drift_;
   MigrationPlanner planner_;
 

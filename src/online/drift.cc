@@ -19,22 +19,55 @@ void DriftDetector::Rebase(int step, std::vector<monitor::ProfileStats> referenc
   reference_ = std::move(reference);
 }
 
-DriftDecision DriftDetector::Check(
-    int step, const std::vector<monitor::ProfileStats>& current,
-    bool forecast_violation) const {
-  if (forecast_violation) return {true, "violation-forecast"};
-  if (reference_.empty() || current.size() != reference_.size()) return {};
-  if (rebased_step_ >= 0 && step - rebased_step_ < config_.cooldown_steps) return {};
+bool DriftDetector::ScanEnabled(int step, size_t num_streams) const {
+  if (reference_.empty() || num_streams != reference_.size()) return false;
+  if (rebased_step_ >= 0 && step - rebased_step_ < config_.cooldown_steps) {
+    return false;
+  }
+  return true;
+}
 
-  for (size_t w = 0; w < current.size(); ++w) {
+DriftScan DriftDetector::ScanRange(
+    const std::vector<monitor::ProfileStats>& current, int begin,
+    int end) const {
+  DriftScan scan;
+  for (int w = begin; w < end; ++w) {
     if (Deviates(current[w].p95_cpu_cores, reference_[w].p95_cpu_cores,
                  config_.relative_threshold, config_.absolute_cpu_floor_cores) ||
         Deviates(current[w].p95_ram_bytes, reference_[w].p95_ram_bytes,
                  config_.relative_threshold, config_.absolute_ram_floor_bytes)) {
-      return {true, "drift:w" + std::to_string(w)};
+      if (scan.first_stream < 0) scan.first_stream = w;
+      ++scan.drifted_streams;
     }
   }
-  return {};
+  return scan;
+}
+
+DriftDecision DriftDetector::Decide(const DriftScan& folded,
+                                    int drifted_shards) const {
+  DriftDecision decision;
+  if (folded.drifted_streams == 0) return decision;
+  decision.resolve = true;
+  decision.reason = "drift:w" + std::to_string(folded.first_stream);
+  decision.first_stream = folded.first_stream;
+  decision.drifted_streams = folded.drifted_streams;
+  decision.drifted_shards = drifted_shards;
+  return decision;
+}
+
+DriftDecision DriftDetector::Check(
+    int step, const std::vector<monitor::ProfileStats>& current,
+    bool forecast_violation) const {
+  if (forecast_violation) {
+    DriftDecision decision;
+    decision.resolve = true;
+    decision.reason = "violation-forecast";
+    return decision;
+  }
+  if (!ScanEnabled(step, current.size())) return {};
+  const DriftScan scan =
+      ScanRange(current, 0, static_cast<int>(current.size()));
+  return Decide(scan, scan.drifted_streams > 0 ? 1 : 0);
 }
 
 }  // namespace kairos::online

@@ -6,9 +6,19 @@
 //      deviates from the fingerprint captured at the last solve by more
 //      than a relative threshold (with absolute floors so idle workloads
 //      don't flap).
+//
+// The scan decomposes over stream ranges: ScanRange(current, b, e) counts
+// the drifted streams in [b, e) and remembers the first, so the striped
+// ingestion tier can scan each shard's stripe on its own worker and fold
+// the per-shard results in shard order — Decide() then builds a decision
+// identical to the serial full-range Check(). The decision also reports
+// *how many* streams (and shards) drifted: the controller uses a
+// single-stream drift for the local shard repair and escalates multi-stream
+// or cross-shard drift to a global re-solve.
 #ifndef KAIROS_ONLINE_DRIFT_H_
 #define KAIROS_ONLINE_DRIFT_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,9 +38,23 @@ struct DriftConfig {
   int cooldown_steps = 6;
 };
 
+/// Result of scanning one stream range for drift.
+struct DriftScan {
+  int first_stream = -1;    ///< lowest-indexed drifted stream, -1 if none
+  int drifted_streams = 0;  ///< drifted streams in the scanned range
+};
+
 struct DriftDecision {
   bool resolve = false;
   std::string reason;  // "violation-forecast", "drift:<workload>", or ""
+  /// Lowest-indexed drifted stream (-1 for violation forecasts / no drift).
+  int first_stream = -1;
+  /// Streams past the drift threshold (0 for violation forecasts). A
+  /// value > 1 means a single-shard repair cannot cover the change.
+  int drifted_streams = 0;
+  /// Ingest shards with at least one drifted stream. Depends on the stripe
+  /// layout (observability / escalation only — never on the transcript).
+  int drifted_shards = 0;
 };
 
 class DriftDetector {
@@ -41,10 +65,24 @@ class DriftDetector {
   void Rebase(int step, std::vector<monitor::ProfileStats> reference);
 
   /// `forecast_violation`: the controller's capacity forecast of the
-  /// incumbent placement against current rolling profiles.
+  /// incumbent placement against current rolling profiles. Serial
+  /// equivalent of ScanEnabled + full-range ScanRange + Decide.
   DriftDecision Check(int step,
                       const std::vector<monitor::ProfileStats>& current,
                       bool forecast_violation) const;
+
+  /// False when no drift scan should run at `step`: no reference yet, a
+  /// stream-count mismatch, or inside the post-solve cooldown.
+  bool ScanEnabled(int step, size_t num_streams) const;
+
+  /// Scans streams [begin, end) against the reference. Pure read — safe to
+  /// run concurrently over disjoint ranges. Call only when ScanEnabled.
+  DriftScan ScanRange(const std::vector<monitor::ProfileStats>& current,
+                      int begin, int end) const;
+
+  /// Builds the decision from a folded scan. `drifted_shards` is the number
+  /// of stripes whose scan found drift (1 for the serial path).
+  DriftDecision Decide(const DriftScan& folded, int drifted_shards) const;
 
  private:
   DriftConfig config_;

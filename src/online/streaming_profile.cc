@@ -7,38 +7,51 @@ namespace kairos::online {
 StreamingProfileBuilder::StreamingProfileBuilder(int num_workloads,
                                                  size_t window_samples,
                                                  double interval_seconds,
-                                                 double working_set_decay) {
+                                                 double working_set_decay)
+    : num_workloads_(num_workloads),
+      cpu_(num_workloads, window_samples, interval_seconds),
+      ram_(num_workloads, window_samples, interval_seconds),
+      rate_(num_workloads, window_samples, interval_seconds),
+      p95_cpu_(num_workloads, 0.95),
+      working_set_(num_workloads, working_set_decay) {
   assert(num_workloads >= 1 && window_samples >= 1);
-  cpu_.reserve(num_workloads);
-  ram_.reserve(num_workloads);
-  rate_.reserve(num_workloads);
-  for (int w = 0; w < num_workloads; ++w) {
-    cpu_.emplace_back(window_samples, interval_seconds);
-    ram_.emplace_back(window_samples, interval_seconds);
-    rate_.emplace_back(window_samples, interval_seconds);
-    p95_cpu_.emplace_back(0.95);
-    working_set_.emplace_back(working_set_decay);
-  }
 }
 
 void StreamingProfileBuilder::Ingest(const std::vector<TelemetrySample>& samples) {
-  assert(static_cast<int>(samples.size()) == num_workloads());
-  for (int w = 0; w < num_workloads(); ++w) {
-    cpu_[w].Push(samples[w].cpu_cores);
-    ram_[w].Push(samples[w].ram_bytes);
-    rate_[w].Push(samples[w].update_rows_per_sec);
-    p95_cpu_[w].Add(samples[w].cpu_cores);
-    working_set_[w].Push(samples[w].working_set_bytes);
+  assert(static_cast<int>(samples.size()) == num_workloads_);
+  IngestBatch(samples.data(), 0, num_workloads_);
+  CommitStep();
+}
+
+void StreamingProfileBuilder::IngestBatch(const TelemetrySample* samples,
+                                          int begin, int end) {
+  // One fused pass: per workload, three window-row stores (contiguous in w
+  // thanks to the banks' slot-major layout), the P² marker update, and the
+  // decaying max. No virtual dispatch, no allocation.
+  for (int w = begin; w < end; ++w) {
+    const TelemetrySample& s = samples[w];
+    cpu_.Push(w, s.cpu_cores);
+    ram_.Push(w, s.ram_bytes);
+    rate_.Push(w, s.update_rows_per_sec);
+    p95_cpu_.Add(w, s.cpu_cores);
+    working_set_.Push(w, s.working_set_bytes);
   }
+}
+
+void StreamingProfileBuilder::CommitStep() {
+  cpu_.CommitStep();
+  ram_.CommitStep();
+  rate_.CommitStep();
+  p95_cpu_.CommitStep();
   ++samples_seen_;
 }
 
 monitor::WorkloadProfile StreamingProfileBuilder::Profile(int w) const {
   monitor::WorkloadProfile profile;
-  profile.cpu_cores = cpu_[w].ToSeries();
-  profile.ram_bytes = ram_[w].ToSeries();
-  profile.update_rows_per_sec = rate_[w].ToSeries();
-  profile.working_set_bytes = working_set_[w].value();
+  profile.cpu_cores = cpu_.ToSeries(w);
+  profile.ram_bytes = ram_.ToSeries(w);
+  profile.update_rows_per_sec = rate_.ToSeries(w);
+  profile.working_set_bytes = working_set_.value(w);
   return profile;
 }
 

@@ -3,6 +3,14 @@
 // Each workload keeps the last W samples (the solver's time-varying view),
 // a P² estimator for the lifetime p95, and a decaying-max working-set
 // estimate — all O(1) per sample.
+//
+// State lives in SoA estimator banks (online/estimators.h): flat per-signal
+// arrays updated by a batch hot loop, not per-workload objects. The batch
+// step protocol makes the builder stripeable: IngestBatch(samples, b, e)
+// touches only workloads [b, e), so disjoint stripes can be ingested from
+// different threads (online/ingest.h), followed by one CommitStep(). The
+// resulting state is bit-identical to the serial Ingest() path regardless
+// of striping.
 #ifndef KAIROS_ONLINE_STREAMING_PROFILE_H_
 #define KAIROS_ONLINE_STREAMING_PROFILE_H_
 
@@ -24,9 +32,19 @@ class StreamingProfileBuilder {
                           double working_set_decay = 0.995);
 
   /// Ingests one step (one sample per workload, in workload order).
+  /// Equivalent to IngestBatch over all workloads plus CommitStep().
   void Ingest(const std::vector<TelemetrySample>& samples);
 
-  int num_workloads() const { return static_cast<int>(cpu_.size()); }
+  /// Batch hot loop: absorbs the current step's samples for workloads
+  /// [begin, end). `samples` is the full step (indexed by workload id).
+  /// Callers must cover every workload exactly once per step — disjoint
+  /// ranges may run concurrently — then call CommitStep() once.
+  void IngestBatch(const TelemetrySample* samples, int begin, int end);
+
+  /// Advances the shared step state; single-threaded, once per step.
+  void CommitStep();
+
+  int num_workloads() const { return num_workloads_; }
   size_t samples_seen() const { return samples_seen_; }
 
   /// Rolling profile of workload `w` (series only — name/replicas/pinning
@@ -37,13 +55,14 @@ class StreamingProfileBuilder {
   monitor::ProfileStats Stats(int w) const;
 
   /// Lifetime p95 CPU of workload `w` from the P² estimator (reporting).
-  double LifetimeP95Cpu(int w) const { return p95_cpu_[w].Estimate(); }
+  double LifetimeP95Cpu(int w) const { return p95_cpu_.Estimate(w); }
 
  private:
+  int num_workloads_;
   size_t samples_seen_ = 0;
-  std::vector<RollingWindow> cpu_, ram_, rate_;
-  std::vector<P2Quantile> p95_cpu_;
-  std::vector<DecayingMax> working_set_;
+  RollingWindowBank cpu_, ram_, rate_;
+  P2QuantileBank p95_cpu_;
+  DecayingMaxBank working_set_;
 };
 
 }  // namespace kairos::online

@@ -98,7 +98,11 @@ std::string ReplayFeed::workload_name(int w) const { return names_[w]; }
 
 bool ReplayFeed::Next(std::vector<TelemetrySample>* out) {
   if (cursor_ >= steps_.size()) return false;
-  *out = steps_[cursor_++];
+  // assign() reuses the caller's buffer: after the first step the loop
+  // `while (feed.Next(&samples)) controller.Ingest(samples);` never
+  // allocates (every step has the same workload count).
+  const std::vector<TelemetrySample>& step = steps_[cursor_++];
+  out->assign(step.begin(), step.end());
   CountEmitted(out->size());
   return true;
 }

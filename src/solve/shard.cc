@@ -626,6 +626,18 @@ core::ConsolidationPlan ShardedSolver::Solve(
     SharedIncumbent* incumbent) {
   const int cap = HardCap(problem);
   if (problem.TotalSlots() == 0) {
+    if (cap < 1) {
+      // Nothing to place and nowhere to place it (a default-constructed
+      // problem): FinalizePlan would build an Evaluator, whose accountant
+      // requires at least one server — hand back the empty plan directly.
+      core::ConsolidationPlan plan;
+      plan.feasible = true;
+      plan.class_servers_used.assign(problem.fleet.num_classes(), 0);
+      for (const auto& c : problem.fleet.classes) {
+        plan.class_names.push_back(c.spec.name);
+      }
+      return plan;
+    }
     return core::FinalizePlan(problem, std::vector<int>(), cap);
   }
 

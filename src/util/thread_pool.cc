@@ -30,6 +30,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  if (n == 1) {
+    // One task is dealt to worker 0 — the caller — so run it inline and
+    // skip the generation bump, queue stamping, and worker wakeups.
+    fn(0);
+    return;
+  }
   const int W = num_workers();
   if (W == 1) {
     for (int i = 0; i < n; ++i) fn(i);
