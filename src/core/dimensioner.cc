@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/bounds.h"
 #include "core/load_accountant.h"
 
 namespace kairos::core {
@@ -85,43 +86,12 @@ std::vector<std::vector<int>> CandidateOrders(
 }
 
 /// Shortest prefix of `order` whose idealized (fractional) aggregate
-/// capacity covers the peak demand on every axis — the cheapest prefix
-/// that could possibly host the load, hence the search's lower bound.
+/// capacity covers the peak demand on every axis (arithmetic now lives in
+/// the unified bound layer; GreedySeed still ranks candidate orders by it).
 int CoveragePrefix(const LoadAccountant& acct,
                    const LoadAccountant::AggregateDemand& demand,
                    int min_servers, const std::vector<int>& order) {
-  const int n = static_cast<int>(order.size());
-  const bool disk = acct.AnyDiskActive();
-  // Per-class membership of the prefix, maintained incrementally: the disk
-  // check below is then O(num_classes) per candidate m (capacity depends
-  // only on the class and the evenly spread working set).
-  std::vector<int> prefix_classes(acct.num_classes(), 0);
-  double cpu_sum = 0, ram_sum = 0;
-  for (int m = 1; m <= n; ++m) {
-    const int klass = acct.ClassOfServer(order[m - 1]);
-    ++prefix_classes[klass];
-    cpu_sum += acct.CapacityOfClass(klass).cpu_cores;
-    ram_sum += acct.CapacityOfClass(klass).ram_bytes;
-    if (m < min_servers || cpu_sum < demand.peak_cpu ||
-        ram_sum < demand.peak_ram) {
-      continue;
-    }
-    if (disk) {
-      // Working set spread evenly over the prefix; an inactive disk axis
-      // sustains any rate (unbounded capacity), settling the check.
-      const double ws_per = demand.ws / static_cast<double>(m);
-      double rate_sum = 0;
-      for (int c = 0; c < acct.num_classes(); ++c) {
-        if (prefix_classes[c] > 0) {
-          rate_sum += acct.Disk(c).UsableCapacity(ws_per) *
-                      static_cast<double>(prefix_classes[c]);
-        }
-      }
-      if (rate_sum < demand.peak_rate) continue;
-    }
-    return m;
-  }
-  return n;
+  return BoundEngine::CoveragePrefix(acct, demand, min_servers, order);
 }
 
 /// First m of the purchase order, as an ascending server-index subset.
@@ -147,15 +117,14 @@ DimensioningResult FleetDimensioner::Run(
   const LoadAccountant acct(problem_, cap, /*track_server_load=*/false);
   const LoadAccountant::AggregateDemand demand = acct.TotalDemand();
   const int min_servers = MinServersOf(problem_);
-  const std::vector<std::vector<int>> orders =
-      CandidateOrders(problem_, acct, cap);
+  const int num_classes = problem_.fleet.num_classes();
 
   const auto stop = [&] {
     return options_.should_stop && options_.should_stop();
   };
   // Fleet cost of the class-aware greedy baseline: the known-feasible
-  // anchor the first upper budget is derived from (legacy anchors its
-  // upper K on the greedy server count the same way).
+  // anchor bounding the knapsack (legacy anchored its upper K on the
+  // greedy server count the same way).
   double greedy_cost = -1.0;
   if (greedy_upper.feasible) {
     std::vector<char> used(cap, 0);
@@ -169,12 +138,38 @@ DimensioningResult FleetDimensioner::Run(
     greedy_cost = problem_.fleet.CostOfServers(greedy_servers);
   }
 
-  Assignment best;
-  int best_m = -1;
-  const std::vector<int>* best_order = nullptr;
-  double best_cost = std::numeric_limits<double>::infinity();
+  // Pins must ride in every probed subset (DecodePoint forces them), so
+  // they floor their class counts; drained classes offer nothing beyond
+  // their pins.
+  std::vector<std::vector<int>> pins_of_class(num_classes);
+  std::vector<char> is_pin(cap, 0);
+  for (const auto& w : problem_.workloads) {
+    const int pin = w.pinned_server;
+    if (pin >= 0 && pin < cap && !is_pin[pin]) {
+      is_pin[pin] = 1;
+      pins_of_class[problem_.fleet.ClassOf(pin)].push_back(pin);
+    }
+  }
+  for (auto& pins : pins_of_class) std::sort(pins.begin(), pins.end());
+  const std::vector<int> class_counts = problem_.fleet.ClassCounts(cap);
+  std::vector<int> min_counts(num_classes, 0), avail(num_classes, 0);
+  for (int c = 0; c < num_classes; ++c) {
+    min_counts[c] = static_cast<int>(pins_of_class[c].size());
+    avail[c] = acct.ClassDrained(c) ? min_counts[c] : class_counts[c];
+  }
 
-  // Trace ids for the budget bisection (one branch when no sink attached).
+  // The bounded knapsack over class counts: cheapest fractional covers in
+  // ascending fleet cost. Unlike the retired prefix enumeration, this
+  // reaches mixes that interleave two bounded classes mid-order without
+  // any greedy rescue. The greedy anchor prunes mixes that cannot improve
+  // on a known-feasible fleet.
+  constexpr int kMaxMixProbes = 48;
+  const std::vector<ClassMix> mixes = BoundEngine::CheapestCoverMixes(
+      acct, demand, min_servers, min_counts, avail,
+      /*max_cost=*/greedy_cost >= 0.0 ? greedy_cost : 0.0,
+      /*max_mixes=*/kMaxMixProbes);
+
+  // Trace ids for the budget probes (one branch when no sink attached).
   uint32_t obs_track = 0, obs_probe = 0, obs_improve = 0;
   if (options_.sink != nullptr) {
     obs::TraceSink& trace = options_.sink->trace();
@@ -184,114 +179,95 @@ DimensioningResult FleetDimensioner::Run(
     obs_improve = trace.InternName("dim_improve");
   }
 
-  for (const std::vector<int>& order : orders) {
+  // Ascending server-index subset realizing a class-count mix: each
+  // class's pinned servers, then its lowest non-pinned indices.
+  const auto subset_for = [&](const std::vector<int>& counts) {
+    std::vector<int> subset;
+    for (int c = 0; c < num_classes; ++c) {
+      int taken = 0;
+      for (int j : pins_of_class[c]) {
+        if (taken >= counts[c]) break;
+        subset.push_back(j);
+        ++taken;
+      }
+      const int begin = problem_.fleet.ClassBegin(c);
+      for (int j = begin; j < begin + class_counts[c] && taken < counts[c];
+           ++j) {
+        if (!is_pin[j]) {
+          subset.push_back(j);
+          ++taken;
+        }
+      }
+    }
+    std::sort(subset.begin(), subset.end());
+    return subset;
+  };
+
+  const auto probe = [&](const std::vector<int>& servers, double mix_cost,
+                         Assignment* out) {
+    ++result.budget_probes;
+    const bool ok = engine_.ProbeServers(
+        servers, options_.probe_direct_evaluations, out);
+    if (options_.sink != nullptr) {
+      options_.sink->trace().Emit(
+          obs_track, obs_probe, obs::EventKind::kPoint,
+          /*i0=*/static_cast<int64_t>(servers.size()),
+          /*i1=*/ok ? 1 : 0, /*d0=*/mix_cost);
+      options_.sink->metrics().counter("dimensioner.budget_probes")->Add(1);
+    }
+    return ok;
+  };
+  const auto improve = [&](Assignment a, std::vector<int> servers) {
+    result.found = true;
+    result.assignment = std::move(a);
+    result.servers = std::move(servers);
+    result.class_counts.assign(num_classes, 0);
+    for (int j : result.servers) {
+      ++result.class_counts[problem_.fleet.ClassOf(j)];
+    }
+    result.budget = problem_.fleet.CostOfServers(result.servers);
+    if (options_.sink != nullptr) {
+      options_.sink->trace().Emit(
+          obs_track, obs_improve, obs::EventKind::kPoint,
+          /*i0=*/static_cast<int64_t>(result.servers.size()),
+          /*i1=*/1, /*d0=*/result.budget);
+    }
+    if (on_improve) on_improve(result.assignment);
+  };
+
+  // Mixes arrive cost-ascending, so the first probe-feasible one is the
+  // cheapest reachable — nothing cheaper remains to try.
+  for (const ClassMix& mix : mixes) {
     if (stop()) break;
-    const int n = static_cast<int>(order.size());
-    // Prefix fleet costs B(m); nested prefixes make feasibility monotone
-    // in m, so a binary search on m IS the budget binary search.
-    std::vector<double> prefix_cost(n + 1, 0.0);
-    for (int m = 1; m <= n; ++m) {
-      prefix_cost[m] =
-          prefix_cost[m - 1] +
-          problem_.fleet.classes[problem_.fleet.ClassOf(order[m - 1])]
-              .cost_weight;
-    }
-    const int m_lo = CoveragePrefix(acct, demand, min_servers, order);
-    // This order cannot beat the incumbent mix even fractionally: skip.
-    if (prefix_cost[m_lo] >= best_cost) continue;
-
-    int m_hi = n;
-    if (best_m >= 0) {
-      // With an incumbent, probe right below its cost: the largest prefix
-      // that could still improve. A failed probe there rules the whole
-      // order out (feasibility is monotone in the prefix), regardless of
-      // where the greedy-derived anchor sits.
-      while (m_hi > m_lo && prefix_cost[m_hi] >= best_cost) --m_hi;
-    } else if (greedy_cost >= 0.0) {
-      for (int m = 1; m <= n; ++m) {
-        if (prefix_cost[m] >= greedy_cost - 1e-9) {
-          m_hi = m;
-          break;
-        }
-      }
-    }
-    if (m_hi < m_lo) m_hi = m_lo;
-
-    const auto probe = [&](int m, Assignment* out) {
-      ++result.budget_probes;
-      const bool ok = engine_.ProbeServers(SubsetOf(order, m),
-                                           options_.probe_direct_evaluations,
-                                           out);
-      if (options_.sink != nullptr) {
-        options_.sink->trace().Emit(obs_track, obs_probe,
-                                    obs::EventKind::kPoint, /*i0=*/m,
-                                    /*i1=*/ok ? 1 : 0, /*d0=*/prefix_cost[m]);
-        options_.sink->metrics().counter("dimensioner.budget_probes")->Add(1);
-      }
-      return ok;
-    };
-    const auto improve = [&](const Assignment& a, int m) {
-      best = a;
-      best_m = m;
-      best_order = &order;
-      best_cost = prefix_cost[m];
-      if (options_.sink != nullptr) {
-        options_.sink->trace().Emit(obs_track, obs_improve,
-                                    obs::EventKind::kPoint, /*i0=*/m,
-                                    /*i1=*/1, /*d0=*/best_cost);
-      }
-      if (on_improve) on_improve(best);
-    };
-
     Assignment a;
-    if (probe(m_hi, &a)) {
-      if (prefix_cost[m_hi] < best_cost) improve(a, m_hi);
-      int lo = m_lo, hi = m_hi;
-      while (lo < hi && !stop()) {
-        const int mid = lo + (hi - lo) / 2;
-        Assignment mid_a;
-        if (probe(mid, &mid_a)) {
-          if (prefix_cost[mid] < best_cost) improve(mid_a, mid);
-          hi = mid;
-        } else {
-          lo = mid + 1;
-        }
-      }
-    } else if (best_m < 0 && m_hi < n && !stop()) {
-      // Nothing feasible anywhere yet: relax this order's budget upward
-      // (the greedy-derived upper bound is heuristic — its cost buys a
-      // different mix here). Probe the whole order once; if even that
-      // fails the order is out, otherwise binary-search the gap so big
-      // fleets pay O(log n) probes, not a linear walk. Later orders are
-      // only probed below the incumbent cost, where the failed top probe
-      // already ruled them out (feasibility is monotone in the prefix).
-      Assignment full;
-      if (probe(n, &full)) {
-        improve(full, n);
-        int lo = m_hi + 1, hi = n;
-        while (lo < hi && !stop()) {
-          const int mid = lo + (hi - lo) / 2;
-          Assignment mid_a;
-          if (probe(mid, &mid_a)) {
-            improve(mid_a, mid);
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-      }
+    const std::vector<int> servers = subset_for(mix.counts);
+    if (servers.empty()) continue;
+    if (probe(servers, mix.cost, &a)) {
+      improve(std::move(a), servers);
+      break;
     }
   }
 
-  if (best_m < 0 || best_order == nullptr) return result;
-  result.found = true;
-  result.assignment = std::move(best);
-  result.servers = SubsetOf(*best_order, best_m);
-  result.class_counts.assign(problem_.fleet.num_classes(), 0);
-  for (int j : result.servers) {
-    ++result.class_counts[problem_.fleet.ClassOf(j)];
+  if (!result.found && !stop()) {
+    // No bounded-budget mix held the load (or the knapsack was anchored
+    // out): relax to the whole placable fleet plus pins once, the
+    // full-order fallback of the retired prefix search. The engine's
+    // greedy rescue remains the backstop past this.
+    std::vector<int> full = acct.PlacableServers();
+    for (int j = 0; j < cap; ++j) {
+      if (is_pin[j] &&
+          std::find(full.begin(), full.end(), j) == full.end()) {
+        full.push_back(j);
+      }
+    }
+    std::sort(full.begin(), full.end());
+    if (!full.empty()) {
+      Assignment a;
+      if (probe(full, problem_.fleet.CostOfServers(full), &a)) {
+        improve(std::move(a), std::move(full));
+      }
+    }
   }
-  result.budget = problem_.fleet.CostOfServers(result.servers);
   return result;
 }
 

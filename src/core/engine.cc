@@ -6,6 +6,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/bounds.h"
 #include "core/dimensioner.h"
 #include "opt/direct.h"
 #include "util/stats.h"
@@ -264,20 +265,8 @@ bool ConsolidationEngine::ProbeKImpl(int k, int direct_budget, Assignment* out) 
   //    balance tail of e each — a looser bound (e.g. fleet-wide max
   //    weight) would let an infeasible all-cheap-class plan pass as
   //    "feasible" and stop DIRECT early.
-  double feasible_threshold;
-  if (problem_.fleet.UniformMachines() && !problem_.fleet.AnyDrained()) {
-    feasible_threshold =
-        static_cast<double>(k) *
-        (kServerCost * problem_.fleet.classes.front().cost_weight + std::exp(1.0));
-  } else {
-    // The accountant covers servers [0, k), so its placable list *is* the
-    // placable prefix.
-    const LoadAccountant& acct = ev.accountant();
-    const double placable_prefix =
-        static_cast<double>(acct.PlacableServers().size());
-    feasible_threshold =
-        kServerCost * acct.PrefixWeight(k) + placable_prefix * std::exp(1.0);
-  }
+  const double feasible_threshold =
+      BoundEngine::PrefixFeasibleThreshold(problem_, ev.accountant(), k);
   int evals = 0;
   Assignment candidate = RunDirect(k, direct_budget, feasible_threshold, &evals);
   evaluations_ += evals;
@@ -332,8 +321,7 @@ bool ConsolidationEngine::ProbeServersImpl(const std::vector<int>& servers,
   //    server costs plus a balance tail of e each — the subset analogue of
   //    the prefix probe's threshold.
   const double feasible_threshold =
-      kServerCost * ev->accountant().SubsetWeight(servers) +
-      static_cast<double>(servers.size()) * std::exp(1.0);
+      BoundEngine::SubsetFeasibleThreshold(ev->accountant(), servers);
   int evals = 0;
   Assignment candidate =
       RunDirect(k, direct_budget, feasible_threshold, &evals, &servers, ev);
@@ -633,6 +621,17 @@ std::string ConsolidationPlan::Render() const {
     }
   }
   out << "\n";
+  if (exact_search) {
+    // Only the exact solver sets exact_search, so existing heuristic
+    // transcripts stay byte-identical.
+    out << "exact: " << exact_nodes << " nodes, ";
+    if (proved_optimal) {
+      out << "proved optimal";
+    } else {
+      out << "budget-truncated, gap <= " << util::FormatDouble(optimality_gap, 3);
+    }
+    out << "\n";
+  }
   if (class_servers_used.size() > 1) {
     out << "fleet cost " << util::FormatDouble(fleet_cost, 2) << ":";
     for (size_t c = 0; c < class_servers_used.size(); ++c) {

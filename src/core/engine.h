@@ -125,6 +125,18 @@ struct ConsolidationPlan {
   /// ProbeServers calls). With solve_seconds this yields the probe rate
   /// Render() reports.
   int probe_attempts = 0;
+  /// True when this plan came from the exact branch-and-bound solver (the
+  /// fields below are only meaningful — and only rendered — then).
+  bool exact_search = false;
+  /// True when the exact search exhausted its tree within budget: the plan
+  /// is a global optimum of the encoding up to the search's 1e-7 relative
+  /// pruning slack, and optimality_gap is exactly 0.
+  bool proved_optimal = false;
+  /// Search-tree nodes (placements) the exact solver expanded.
+  int64_t exact_nodes = 0;
+  /// Upper bound on objective - optimum when the search was truncated by
+  /// its node/time budget (0 when proved_optimal).
+  double optimality_gap = 0;
 
   /// Human-readable summary.
   std::string Render() const;

@@ -39,16 +39,6 @@ void FlushEvalOps(obs::Sink* sink) {
   tl_eval_ops = EvalOpCounts{};
 }
 
-namespace {
-/// Affinity violations are counted in units of this many "relative excess"
-/// points, so they share the violation penalty scale.
-constexpr double kAffinityUnit = 0.1;
-constexpr double kPinPenalty = 1e9;
-/// Relative-excess units charged per slot left on a drained machine class,
-/// so an evacuation always pays for itself but a pin still dominates.
-constexpr double kDrainedUnit = 0.25;
-}  // namespace
-
 Evaluator::Evaluator(const ConsolidationProblem& problem, int max_servers)
     : problem_(problem),
       max_servers_(max_servers),
@@ -95,54 +85,10 @@ template <typename CpuAt, typename RamAt, typename RateAt>
 double Evaluator::ServerCostOf(int klass, double ws, int count, CpuAt cpu_at,
                                RamAt ram_at, RateAt rate_at,
                                double* violation_out) const {
-  if (count <= 0) {
-    if (violation_out) *violation_out = 0.0;
-    return 0.0;
-  }
-  const double overhead = problem_.per_instance_cpu_overhead_cores;
-  const double ram_overhead = static_cast<double>(problem_.instance_ram_overhead_bytes);
-  const double wsum =
-      problem_.cpu_weight + problem_.ram_weight + problem_.disk_weight;
-  const sim::EffectiveCapacity& cap = acct_.CapacityOfClass(klass);
-
-  const model::DiskResource& disk = acct_.Disk(klass);
-  const bool has_disk = disk.active();
-  double disk_cap = 0;
-  if (has_disk) disk_cap = disk.Capacity(ws);
-  const double disk_headroom = disk.headroom();
-
-  const int samples = acct_.num_samples();
-  double exp_sum = 0;
-  double violation = 0;
-  for (int t = 0; t < samples; ++t) {
-    const double cpu = cpu_at(t) + overhead;
-    const double ram = ram_at(t) + ram_overhead;
-    const double rate = rate_at(t);
-    const double u_cpu = cpu / cap.cpu_full_cores;
-    const double u_ram = ram / cap.ram_full_bytes;
-    double u_disk = 0;
-    if (has_disk && disk_cap > 0) u_disk = rate / disk_cap;
-
-    double load = (problem_.cpu_weight * std::min(u_cpu, 1.5) +
-                   problem_.ram_weight * std::min(u_ram, 1.5) +
-                   problem_.disk_weight * std::min(u_disk, 1.5)) /
-                  wsum;
-    exp_sum += std::exp(std::min(load, 1.0));
-
-    violation += std::max(0.0, cpu / cap.cpu_cores - 1.0);
-    violation += std::max(0.0, ram / cap.ram_bytes - 1.0);
-    if (has_disk && disk_cap > 0) {
-      violation += std::max(0.0, rate / (disk_headroom * disk_cap) - 1.0);
-    }
-  }
-  violation /= static_cast<double>(samples);
-  if (acct_.ClassDrained(klass)) violation += count * kDrainedUnit;
-
-  double cost = kServerCost * acct_.ClassWeight(klass) +
-                exp_sum / static_cast<double>(samples);
-  if (violation > 1e-12) cost += kViolationBase + kViolationScale * violation;
-  if (violation_out) *violation_out = violation;
-  return cost;
+  // The arithmetic lives in core/bounds.h so the exact search's partial
+  // aggregates price a server with literally the same expression.
+  return ServerAggregateCost(problem_, acct_, klass, ws, count, cpu_at, ram_at,
+                             rate_at, violation_out);
 }
 
 double Evaluator::WhatIfCost(int j, int slot, double sign) const {

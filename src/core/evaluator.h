@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bounds.h"
 #include "core/load_accountant.h"
 #include "core/problem.h"
 
@@ -34,16 +35,6 @@ class Sink;
 }  // namespace kairos::obs
 
 namespace kairos::core {
-
-/// Weight of one used server in the objective: dominates any balance
-/// improvement, so minimizing the objective minimizes server count first
-/// (the paper's signum term). Scaled by the server's machine-class
-/// cost_weight in heterogeneous fleets.
-inline constexpr double kServerCost = 1e3;
-/// Fixed penalty for a server with any constraint violation.
-inline constexpr double kViolationBase = 2e3;
-/// Proportional penalty per unit of relative constraint excess.
-inline constexpr double kViolationScale = 1e7;
 
 /// Thread-local evaluator op tallies. Every Evaluate/MoveDelta/ApplyMove
 /// bumps a plain thread-local integer — no atomics, no sink branch — and an

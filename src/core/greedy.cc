@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "core/bounds.h"
 #include "core/load_accountant.h"
 
 namespace kairos::core {
@@ -513,114 +514,8 @@ Assignment GreedyMultiResource(GreedyPackContext& ctx, bool* feasible,
 }
 
 int FractionalLowerBound(const ConsolidationProblem& problem) {
-  const LoadAccountant acct(problem, 1, /*track_server_load=*/false);
-  const int num_slots = acct.num_slots();
-  if (num_slots == 0) return 0;
-
-  const LoadAccountant::AggregateDemand demand = acct.TotalDemand();
-  if (problem.fleet.UniformMachines()) {
-    // One machine type: every server IS the best class, so the classic
-    // idealized arithmetic applies directly (and stays bit-identical).
-    const sim::EffectiveCapacity best = acct.BestClass();
-    int k = 1;
-    k = std::max(k,
-                 static_cast<int>(std::ceil(demand.peak_cpu / best.cpu_cores)));
-    k = std::max(k,
-                 static_cast<int>(std::ceil(demand.peak_ram / best.ram_bytes)));
-    if (acct.AnyDiskActive()) {
-      while (k < num_slots) {
-        const double cap_per_server =
-            acct.BestUsableDiskCapacity(demand.ws / static_cast<double>(k));
-        if (demand.peak_rate <= cap_per_server * static_cast<double>(k)) break;
-        ++k;
-      }
-    }
-    return k;
-  }
-
-  // Mixed fleet: pretending every server matches the best class reports
-  // unreachable bounds when that class has a small bounded count. Fill each
-  // axis's demand best-class-first up to each class's available count before
-  // spilling to the next class — still fractional (workloads divisible,
-  // axes independent), so still a valid lower bound.
-  const int cap = problem.ServerCap();
-  std::vector<int> counts = problem.fleet.ClassCounts(cap);
-  const int num_classes = acct.num_classes();
-  bool any_placable = false;
-  for (int c = 0; c < num_classes; ++c) {
-    any_placable = any_placable || (counts[c] > 0 && !acct.ClassDrained(c));
-  }
-  if (any_placable) {
-    // Drained classes host nothing; a degenerate all-drained fleet keeps
-    // every class, matching the packers' fallback.
-    for (int c = 0; c < num_classes; ++c) {
-      if (acct.ClassDrained(c)) counts[c] = 0;
-    }
-  }
-  int total_count = 0;
-  for (int c = 0; c < num_classes; ++c) total_count += counts[c];
-  if (total_count == 0) return 1;
-
-  // Servers needed to cover `demand` on one linear axis, biggest class
-  // first (the greedy fill is exact for a single axis).
-  const auto fill_linear = [&](double demand,
-                               const std::vector<double>& class_cap) {
-    std::vector<int> order(num_classes);
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return class_cap[a] > class_cap[b];
-    });
-    int k = 0;
-    for (int c : order) {
-      if (demand <= 0.0) break;
-      if (counts[c] <= 0 || class_cap[c] <= 0.0) continue;
-      const int need =
-          static_cast<int>(std::ceil(demand / class_cap[c]));
-      const int take = std::min(counts[c], need);
-      k += take;
-      demand -= static_cast<double>(take) * class_cap[c];
-    }
-    // Demand beyond the whole fleet: the bound degenerates to "use
-    // everything" (the plan is infeasible regardless).
-    return demand > 0.0 ? total_count : k;
-  };
-
-  std::vector<double> cpu_cap(num_classes), ram_cap(num_classes);
-  for (int c = 0; c < num_classes; ++c) {
-    cpu_cap[c] = acct.CapacityOfClass(c).cpu_cores;
-    ram_cap[c] = acct.CapacityOfClass(c).ram_bytes;
-  }
-  int k = std::max(1, std::max(fill_linear(demand.peak_cpu, cpu_cap),
-                               fill_linear(demand.peak_ram, ram_cap)));
-  if (acct.AnyDiskActive()) {
-    while (k < std::min(num_slots, total_count)) {
-      // Best total sustainable rate k servers offer with the working set
-      // spread evenly, best disk classes first (an inactive axis sustains
-      // any rate, so one such server settles the axis).
-      const double ws_per = demand.ws / static_cast<double>(k);
-      std::vector<double> disk_cap(num_classes);
-      for (int c = 0; c < num_classes; ++c) {
-        disk_cap[c] = acct.Disk(c).UsableCapacity(ws_per);
-      }
-      std::vector<int> order(num_classes);
-      std::iota(order.begin(), order.end(), 0);
-      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-        return disk_cap[a] > disk_cap[b];
-      });
-      double remaining = demand.peak_rate;
-      int left = k;
-      for (int c : order) {
-        if (left <= 0 || remaining <= 0.0) break;
-        if (counts[c] <= 0) continue;
-        const int take = std::min(left, counts[c]);
-        remaining -= disk_cap[c] * static_cast<double>(take);
-        left -= take;
-      }
-      if (remaining <= 0.0) break;
-      ++k;
-    }
-  }
-  return k;
+  // The arithmetic moved verbatim into the unified bound layer.
+  return BoundEngine::FractionalServerBound(problem);
 }
 
 }  // namespace kairos::core

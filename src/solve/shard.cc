@@ -10,40 +10,13 @@
 #include "core/evaluator.h"
 #include "core/load_accountant.h"
 #include "util/thread_pool.h"
+#include "util/union_find.h"
 
 namespace kairos::solve {
 
 namespace {
 
-/// Union-find over workload indices: anti-affinity groups route to one
-/// shard atomically, so no explicit pair ever spans a shard boundary.
-class UnionFind {
- public:
-  explicit UnionFind(int n) : parent_(n) {
-    for (int i = 0; i < n; ++i) parent_[i] = i;
-  }
-
-  int Find(int x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void Union(int a, int b) {
-    a = Find(a);
-    b = Find(b);
-    if (a == b) return;
-    // Lower root wins: group identity is the smallest member, so grouping
-    // is independent of pair order.
-    if (a > b) std::swap(a, b);
-    parent_[b] = a;
-  }
-
- private:
-  std::vector<int> parent_;
-};
+using util::UnionFind;
 
 /// Local index of global server `server` within the ascending `servers`
 /// map; -1 when the shard does not own it.

@@ -7,6 +7,7 @@
 #include "core/greedy.h"
 #include "solve/adapters.h"
 #include "solve/annealing.h"
+#include "solve/branch_bound.h"
 #include "solve/shard.h"
 #include "solve/tabu.h"
 
@@ -105,6 +106,9 @@ SolverRegistry& SolverRegistry::Global() {
     });
     r->Register("sharded", [](uint64_t seed) {
       return std::make_unique<ShardedSolver>(seed);
+    });
+    r->Register("exact", [](uint64_t seed) {
+      return std::make_unique<BranchAndBoundSolver>(seed);
     });
     return r;
   }();

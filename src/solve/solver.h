@@ -34,6 +34,14 @@ struct SolveBudget {
   int probe_direct_evaluations = 800;
   /// Local-search sweep cap for the engine adapter.
   int local_search_max_sweeps = 60;
+  /// Node budget for the "exact" branch-and-bound solver (one node per
+  /// attempted placement). The deterministic primary limit: large
+  /// instances return the warm-start incumbent plus a gap bound instead of
+  /// running away.
+  int64_t exact_max_nodes = 50000;
+  /// Optional wall-clock cap for "exact" (seconds; 0 disables). Off by
+  /// default so results stay machine-independent.
+  double exact_max_seconds = 0.0;
   /// How the engine adapter dimensions heterogeneous fleets, and whether
   /// the metaheuristics may warm-start from the cost-based dimensioner's
   /// dense-prefix seed. kCountPrefix forces the legacy count search
@@ -101,7 +109,7 @@ using SolverFactory = std::function<std::unique_ptr<Solver>(uint64_t seed)>;
 
 /// String-keyed solver factory registry. Global() comes pre-populated with
 /// the built-ins: "greedy", "greedy-multi", "engine", "anneal", "tabu",
-/// "polish".
+/// "polish", "sharded", "exact".
 /// Thread-safe: registration and lookup may race with in-flight portfolio
 /// runs.
 class SolverRegistry {

@@ -135,6 +135,26 @@ sim::MachineSpec BigNode() {
   return m;
 }
 
+/// CPU specialist: many cores, little RAM (32 standard cores, 32 GB).
+sim::MachineSpec CpuNode() {
+  sim::MachineSpec m;
+  m.name = "cpu32c32g";
+  m.cores = 32;
+  m.clock_ghz = sim::kStandardCoreGhz;
+  m.ram_bytes = 32 * util::kGiB;
+  return m;
+}
+
+/// RAM specialist: few cores, much RAM (4 standard cores, 128 GB).
+sim::MachineSpec RamNode() {
+  sim::MachineSpec m;
+  m.name = "ram4c128g";
+  m.cores = 4;
+  m.clock_ghz = sim::kStandardCoreGhz;
+  m.ram_bytes = 128 * util::kGiB;
+  return m;
+}
+
 }  // namespace
 
 std::vector<FleetScenarioKind> AllFleetScenarios() {
@@ -150,6 +170,7 @@ std::string FleetScenarioName(FleetScenarioKind kind) {
     case FleetScenarioKind::kScaleUpVsScaleOut: return "scale-up-vs-out";
     case FleetScenarioKind::kGenerationUpgrade: return "generation-upgrade";
     case FleetScenarioKind::kRaidVsSpindle: return "raid-vs-spindle";
+    case FleetScenarioKind::kInterleavedMix: return "interleaved-mix";
   }
   return "unknown";
 }
@@ -222,6 +243,55 @@ FleetScenario MakeRaidVsSpindle(const ScenarioConfig& config) {
   return out;
 }
 
+/// kInterleavedMix: the cheapest feasible fleet buys a *partial* count of
+/// both specialist classes. Even workloads are CPU-heavy (3 cores fill a
+/// RAM box's whole CPU budget, so only the CPU class hosts several) and
+/// odd workloads are RAM-heavy (26 GB, nearly a whole CPU box's RAM), so
+/// neither specialist alone covers the demand and the balanced fallback
+/// costs 3x per box. Every single purchase order exhausts one specialist
+/// before touching the other, so no coverage prefix realizes the optimal
+/// interleaved counts — only the class-count knapsack reaches them.
+FleetScenario MakeInterleavedMix(const ScenarioConfig& config) {
+  FleetScenario out;
+  util::Rng rng(config.seed ^
+                (0xF1EE7ull +
+                 static_cast<uint64_t>(FleetScenarioKind::kInterleavedMix)));
+
+  const int specialists = std::max(2, config.workloads / 4);
+  out.fleet.AddClass(CpuNode(), specialists, 1.0)
+      .AddClass(RamNode(), specialists, 1.0)
+      .AddClass(sim::MachineSpec::ConsolidationTarget(), config.workloads,
+                3.0);
+  // The dear balanced class is the one every workload fits on alone.
+  out.weakest_class = 2;
+
+  for (int w = 0; w < config.workloads; ++w) {
+    monitor::WorkloadProfile p;
+    p.name = "w" + std::to_string(w);
+    util::Rng wl_rng = rng.Fork();
+
+    const bool ram_heavy = (w % 2) == 1;
+    const double cpu_cores = ram_heavy ? 0.3 : 3.0;
+    const double ram_bytes =
+        (ram_heavy ? 26.0 : 2.0) * static_cast<double>(util::kGiB);
+
+    // No update traffic: the interleave signal is pure CPU x RAM shape, so
+    // the disk axis stays inactive and the cover arithmetic is exact.
+    std::vector<double> cpu(config.steps), ram(config.steps),
+        rate(config.steps, 0.0);
+    for (int t = 0; t < config.steps; ++t) {
+      cpu[t] = std::max(0.02, cpu_cores * (1.0 + 0.02 * wl_rng.Gaussian(0.0, 1.0)));
+      ram[t] = ram_bytes * (1.0 + 0.01 * wl_rng.Gaussian(0.0, 1.0));
+    }
+    p.cpu_cores = util::TimeSeries(config.interval_seconds, cpu);
+    p.ram_bytes = util::TimeSeries(config.interval_seconds, ram);
+    p.update_rows_per_sec = util::TimeSeries(config.interval_seconds, rate);
+    p.working_set_bytes = ram_bytes * 0.8;
+    out.profiles.push_back(std::move(p));
+  }
+  return out;
+}
+
 }  // namespace
 
 FleetScenario MakeFleetScenario(FleetScenarioKind kind,
@@ -231,6 +301,9 @@ FleetScenario MakeFleetScenario(FleetScenarioKind kind,
   config.steps = std::max(2, config.steps);
   if (kind == FleetScenarioKind::kRaidVsSpindle) {
     return MakeRaidVsSpindle(config);
+  }
+  if (kind == FleetScenarioKind::kInterleavedMix) {
+    return MakeInterleavedMix(config);
   }
 
   FleetScenario out;
@@ -269,6 +342,7 @@ FleetScenario MakeFleetScenario(FleetScenarioKind kind,
       break;
     }
     case FleetScenarioKind::kRaidVsSpindle:
+    case FleetScenarioKind::kInterleavedMix:
       break;  // handled above
   }
   out.weakest_class = 0;

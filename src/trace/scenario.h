@@ -73,6 +73,16 @@ enum class FleetScenarioKind {
   /// (sized so a spindle sustains one of them but never two); the cheapest
   /// placement parks the update-heavy tenants on the RAID class.
   kRaidVsSpindle,
+  /// Interleaved mix: two *bounded* specialist classes (a CPU-rich box and
+  /// a RAM-rich box, equal cost weight) plus a dear balanced fallback, with
+  /// workloads split CPU-heavy vs RAM-heavy so the cheapest feasible fleet
+  /// takes a *partial* count of each specialist. No prefix of any single
+  /// purchase order contains that mix — every order exhausts one specialist
+  /// class before touching the other — so the retired prefix enumeration
+  /// provably missed it; the knapsack dimensioner's regression scenario.
+  /// Not part of AllFleetScenarios() (it exists for the regression test,
+  /// not the bench sweep).
+  kInterleavedMix,
 };
 
 /// All fleet scenarios, in sweep order.

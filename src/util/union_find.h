@@ -1,0 +1,49 @@
+// Deterministic union-find (disjoint-set) over dense integer ids, used for
+// anti-affinity grouping: workloads joined by anti-affinity pairs must
+// route to one shard/group atomically. Path-halving Find; the *smaller*
+// root wins every Union, so a set's representative is always its smallest
+// member and grouping is independent of the order pairs arrive in.
+#ifndef KAIROS_UTIL_UNION_FIND_H_
+#define KAIROS_UTIL_UNION_FIND_H_
+
+#include <utility>
+#include <vector>
+
+namespace kairos::util {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  /// Representative (smallest member) of x's set, with path halving.
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; the smaller representative wins.
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+  /// True when a and b share a set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  int size() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace kairos::util
+
+#endif  // KAIROS_UTIL_UNION_FIND_H_

@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/bounds.h"
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/greedy.h"
@@ -190,6 +192,111 @@ TEST(CostBudgetDimensioningTest, ProbeContextReuseBitIdenticalToRebuild) {
   EXPECT_EQ(with_cache.chosen_class_counts, without_cache.chosen_class_counts);
   EXPECT_EQ(with_cache.budget_probes, without_cache.budget_probes);
   EXPECT_GT(with_cache.budget_probes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The interleaved-mix miss: no purchase-order prefix reaches the optimum
+// ---------------------------------------------------------------------------
+
+core::ConsolidationProblem InterleavedProblem(trace::FleetScenario* scenario_out) {
+  trace::ScenarioConfig config;
+  config.steps = 12;
+  config.seed = 7;
+  *scenario_out = trace::MakeFleetScenario(
+      trace::FleetScenarioKind::kInterleavedMix, config);
+  core::ConsolidationProblem problem;
+  problem.workloads = scenario_out->profiles;
+  problem.fleet = scenario_out->fleet;
+  return problem;
+}
+
+/// The retired prefix enumeration's candidate purchase orders, rebuilt from
+/// the public pieces it was made of: the dense order, cheapest-class-first,
+/// and each class's servers first (dense within and after). The cheapest
+/// fractional-cover prefix across these is everything that search could
+/// ever probe — the floor the knapsack has to beat.
+double CheapestPrefixCoverCost(const core::ConsolidationProblem& problem,
+                               const core::LoadAccountant& acct,
+                               const core::LoadAccountant::AggregateDemand& demand) {
+  std::vector<std::vector<int>> orders;
+  const std::vector<int> dense = core::DenseServerOrder(acct);
+  orders.push_back(dense);
+  std::vector<int> cheap = acct.PlacableServers();
+  std::stable_sort(cheap.begin(), cheap.end(), [&](int a, int b) {
+    return acct.ClassWeight(acct.ClassOfServer(a)) <
+           acct.ClassWeight(acct.ClassOfServer(b));
+  });
+  orders.push_back(std::move(cheap));
+  for (int c = 0; c < acct.num_classes(); ++c) {
+    std::vector<int> first = dense;
+    std::stable_partition(first.begin(), first.end(), [&](int j) {
+      return acct.ClassOfServer(j) == c;
+    });
+    orders.push_back(std::move(first));
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::vector<int>& order : orders) {
+    const int m = core::BoundEngine::CoveragePrefix(acct, demand,
+                                                    /*min_servers=*/1, order);
+    if (m <= 0) continue;
+    double cost = 0;
+    for (int i = 0; i < m; ++i) {
+      cost += acct.ClassWeight(acct.ClassOfServer(order[i]));
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(CostBudgetDimensioningTest, KnapsackReachesInterleavedMixPrefixesMiss) {
+  trace::FleetScenario scenario;
+  const core::ConsolidationProblem problem = InterleavedProblem(&scenario);
+  ASSERT_EQ(problem.fleet.num_classes(), 3);
+  const int cap = problem.ServerCap();
+  const core::LoadAccountant acct(problem, cap, /*track_server_load=*/false);
+  const core::LoadAccountant::AggregateDemand demand = acct.TotalDemand();
+
+  // The knapsack's cheapest cover interleaves both specialist classes —
+  // partial counts of each, none of the dear fallback...
+  const std::vector<int> avail = problem.fleet.ClassCounts(cap);
+  const std::vector<core::ClassMix> mixes = core::BoundEngine::CheapestCoverMixes(
+      acct, demand, /*min_servers=*/1, /*min_counts=*/{0, 0, 0}, avail,
+      /*max_cost=*/0.0, /*max_mixes=*/8);
+  ASSERT_FALSE(mixes.empty());
+  const core::ClassMix& best = mixes.front();
+  EXPECT_GT(best.counts[0], 0);
+  EXPECT_LT(best.counts[0], avail[0]);
+  EXPECT_GT(best.counts[1], 0);
+  EXPECT_LT(best.counts[1], avail[1]);
+  EXPECT_EQ(best.counts[2], 0);
+
+  // ...and costs strictly less than the cheapest coverage prefix of ANY
+  // candidate purchase order: the retired enumeration provably never
+  // probed a subset this cheap.
+  const double prefix_floor = CheapestPrefixCoverCost(problem, acct, demand);
+  ASSERT_TRUE(std::isfinite(prefix_floor));
+  EXPECT_LT(best.cost, prefix_floor - 1e-9);
+
+  // End to end, the dimensioner lands on that interleaved mix (anchor
+  // disabled: the reach claim is about the dimensioner's own search space).
+  const solve::SolveBudget budget = TestBudget();
+  core::ConsolidationEngine engine(
+      problem, EngineOptionsFor(budget, core::DimensioningMode::kCostBudget));
+  core::FleetDimensioner dimensioner(
+      problem, engine,
+      EngineOptionsFor(budget, core::DimensioningMode::kCostBudget));
+  const core::DimensioningResult dim = dimensioner.Run(core::GreedyResult{});
+  ASSERT_TRUE(dim.found);
+  ASSERT_EQ(dim.class_counts.size(), 3u);
+  EXPECT_GT(dim.class_counts[0], 0);
+  EXPECT_GT(dim.class_counts[1], 0);
+  EXPECT_EQ(dim.class_counts[2], 0);
+  EXPECT_LT(dim.budget, prefix_floor - 1e-9);
+
+  core::Evaluator ev(problem, cap);
+  ev.Load(dim.assignment.server_of_slot);
+  EXPECT_TRUE(ev.IsFeasible());
 }
 
 // ---------------------------------------------------------------------------

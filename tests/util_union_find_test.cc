@@ -1,0 +1,51 @@
+// util::UnionFind: smallest-member representatives, order-independent
+// grouping — the contract the shard builder's anti-affinity grouping
+// depends on for determinism.
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace kairos {
+namespace {
+
+TEST(UnionFindTest, SingletonsAreTheirOwnRepresentatives) {
+  util::UnionFind uf(4);
+  EXPECT_EQ(uf.size(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+  }
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, SmallestMemberWinsEveryUnion) {
+  util::UnionFind uf(6);
+  uf.Union(4, 5);
+  EXPECT_EQ(uf.Find(5), 4);
+  uf.Union(5, 2);  // merging via a non-root member still works
+  EXPECT_EQ(uf.Find(4), 2);
+  EXPECT_EQ(uf.Find(5), 2);
+  uf.Union(2, 2);  // self-union is a no-op
+  EXPECT_EQ(uf.Find(2), 2);
+  EXPECT_TRUE(uf.Connected(4, 2));
+  EXPECT_FALSE(uf.Connected(4, 0));
+}
+
+TEST(UnionFindTest, GroupingIsIndependentOfPairOrder) {
+  // The same pairs in two different arrival orders must produce identical
+  // representatives for every element.
+  const std::pair<int, int> pairs[] = {{1, 3}, {5, 7}, {3, 5}, {0, 6}};
+  util::UnionFind forward(8), backward(8);
+  for (const auto& [a, b] : pairs) forward.Union(a, b);
+  for (int i = 3; i >= 0; --i) backward.Union(pairs[i].first, pairs[i].second);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(forward.Find(i), backward.Find(i)) << "element " << i;
+  }
+  // {1,3,5,7} collapsed to smallest member 1; {0,6} to 0; 2 and 4 alone.
+  EXPECT_EQ(forward.Find(7), 1);
+  EXPECT_EQ(forward.Find(6), 0);
+  EXPECT_EQ(forward.Find(2), 2);
+  EXPECT_EQ(forward.Find(4), 4);
+}
+
+}  // namespace
+}  // namespace kairos
